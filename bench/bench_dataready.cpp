@@ -1,0 +1,132 @@
+// §4.1 / §2.3 reproduction: transfer regimes of the M×N machinery.
+//  - precomputed schedule, reused across transfers (persistent channels);
+//  - schedule rebuilt for every transfer (what one-shot coupling without a
+//    template cache would pay);
+//  - the schedule-free receiver-driven protocol of the Indiana MPI-IO
+//    device ("at the expense of this small communication overhead, no
+//    communication schedule is required").
+// Shapes: reuse wins for repeated transfers; receiver-driven tracks the
+// reused schedule within its constant request-wave overhead, making it the
+// right choice for one-shot couplings; rebuild-every-time is the worst of
+// both as size grows.
+
+#include <array>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "rt/runtime.hpp"
+#include "sched/executor.hpp"
+#include "sched/receiver_driven.hpp"
+
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+constexpr int kM = 3, kN = 2;
+
+struct Timing {
+  double reuse_s = 0, rebuild_s = 0, receiver_s = 0;
+  std::uint64_t reuse_msgs = 0, receiver_msgs = 0;
+};
+
+Timing run(Index extent, int transfers) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, kM), AxisDist::collapsed(16)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(extent, kN, 4), AxisDist::collapsed(16)});
+  const auto l = lin::Linearization::row_major(2, Point{extent, 16});
+
+  Timing out;
+  rt::spawn(kM + kN, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, kM, kN);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill([](const Point& p) { return double(p[0]); });
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+
+    auto reused = sched::build_region_schedule(*src, *dst, ms, md);
+
+    auto regime = [&](int which) {
+      if (which == 0) {
+        sched::execute<double>(reused, a.get(), b.get(), c, 5);
+      } else if (which == 1) {
+        auto s2 = sched::build_region_schedule(*src, *dst, ms, md);
+        sched::execute<double>(s2, a.get(), b.get(), c, 6);
+      } else {
+        sched::redistribute_receiver_driven<double>(a.get(), l, b.get(), l,
+                                                    c, 7);
+      }
+    };
+
+    // Warm every path, then time the regimes in interleaved rounds and
+    // take per-regime medians — single-core scheduling noise would
+    // otherwise penalize whichever regime runs first.
+    for (int w = 0; w < 3; ++w)
+      for (int k = 0; k < 3; ++k) regime(k);
+
+    constexpr int kRounds = 3;
+    std::array<std::vector<double>, 3> times;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int k = 0; k < 3; ++k) {
+        world.barrier();
+        const double t0 = bench::now_s();
+        for (int i = 0; i < transfers; ++i) regime(k);
+        world.barrier();
+        times[k].push_back((bench::now_s() - t0) / transfers);
+      }
+    }
+
+    // Message counts per transfer, derived from the schedule itself (the
+    // runtime counters are shared across ranks and race with neighbouring
+    // phases on one core). Schedule path: one message per send-list entry.
+    // Receiver-driven: a request wave of |dst| x |src| small messages plus
+    // one data message per (src, dst) pair.
+    const auto my_sends =
+        static_cast<std::uint64_t>(reused.sends.size());
+    const auto total_sends = world.allreduce(
+        my_sends, [](std::uint64_t x, std::uint64_t y) { return x + y; });
+
+    if (world.rank() == 0) {
+      for (auto& v : times) std::sort(v.begin(), v.end());
+      out.reuse_s = times[0][kRounds / 2];
+      out.rebuild_s = times[1][kRounds / 2];
+      out.receiver_s = times[2][kRounds / 2];
+      out.reuse_msgs = total_sends;
+      out.receiver_msgs = 2ull * kM * kN;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== dataReady transfer regimes: schedule reuse vs rebuild vs "
+              "receiver-driven ===\n");
+  bench::Table t({"elements", "reuse_us", "rebuild_us", "recv_driven_us",
+                  "reuse_msgs", "recv_msgs"});
+  for (Index extent : {64, 1024, 16384}) {
+    auto r = run(extent, 10);
+    t.row({std::to_string(extent * 16), bench::fmt_us(r.reuse_s),
+           bench::fmt_us(r.rebuild_s), bench::fmt_us(r.receiver_s),
+           std::to_string(r.reuse_msgs), std::to_string(r.receiver_msgs)});
+  }
+  t.print();
+  std::printf("\nShape check: reuse beats rebuild, and the receiver-driven "
+              "protocol pays its request wave (twice the messages) at small "
+              "payloads. At large payloads receiver-driven can WIN outright: "
+              "its linearization packing merges adjacent rows into long "
+              "contiguous runs, while patch-based packing copies row by row "
+              "— the generality/efficiency trade of Section 2.2 cuts both "
+              "ways.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// §4.3 reproduction: the DCA trade-offs.
+//  (a) User-specified alltoallv layouts vs DAD-derived schedules for the
+//      same block->block redistribution: the DCA path skips descriptor
+//      machinery entirely (the user did the bookkeeping), the DAD path pays
+//      schedule construction once and then matches it.
+//  (b) The cost of subset participation: barrier-delayed delivery per call
+//      as the subset size varies within a fixed cohort.
+
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "dca/framework.hpp"
+#include "rt/runtime.hpp"
+#include "sched/executor.hpp"
+#include "sidl/parser.hpp"
+
+namespace dca = mxn::dca;
+namespace dad = mxn::dad;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+const char* kSidl = R"(
+  package b { interface S {
+    collective oneway void deposit(in parallel array<double,1> d);
+    collective int sync(in int x);
+  } }
+)";
+
+/// DCA path: the caller hand-computes counts/displs (block -> block).
+double dca_redistribution(int m, int n, Index elements, int iters) {
+  double seconds = 0;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    dca::DcaFramework fw(world);
+    std::vector<int> cr(m), sr(n);
+    std::iota(cr.begin(), cr.end(), 0);
+    std::iota(sr.begin(), sr.end(), m);
+    fw.instantiate("c", cr);
+    fw.instantiate("s", sr);
+    auto pkg = mxn::sidl::parse_package(kSidl);
+    if (fw.member_of("s")) {
+      auto servant = std::make_shared<dca::DcaServant>(pkg.interface("S"));
+      servant->bind("deposit",
+                    [](dca::DcaContext&, std::vector<dca::DcaValue>&)
+                        -> dca::DcaValue { return {}; });
+      servant->bind("sync", [](dca::DcaContext&,
+                               std::vector<dca::DcaValue>& a)
+                                -> dca::DcaValue {
+        return std::get<std::int32_t>(a[0]);
+      });
+      fw.add_provides("s", "p", servant);
+      fw.connect("c", "p", "s", "p");
+      fw.serve("s", -1);
+    } else {
+      fw.register_uses("c", "p", pkg.interface("S"));
+      fw.connect("c", "p", "s", "p");
+      auto cohort = fw.cohort("c");
+      auto port = fw.get_port("c", "p");
+
+      // The user's bookkeeping: my block of the global array, sliced by
+      // destination block boundaries (this is the "more responsibility on
+      // the user" the paper describes).
+      const Index src_chunk = (elements + m - 1) / m;
+      const Index my_lo = cohort.rank() * src_chunk;
+      const Index my_hi = std::min(elements, my_lo + src_chunk);
+      const Index dst_chunk = (elements + n - 1) / n;
+      dca::ParallelOut po;
+      po.data.assign(static_cast<std::size_t>(std::max<Index>(0, my_hi - my_lo)),
+                     1.0);
+      po.counts.assign(n, 0);
+      po.displs.assign(n, 0);
+      for (int j = 0; j < n; ++j) {
+        const Index lo = std::max(my_lo, j * dst_chunk);
+        const Index hi = std::min(my_hi, std::min(elements, (j + 1) * dst_chunk));
+        po.counts[j] = std::max<Index>(0, hi - lo);
+        po.displs[j] = po.counts[j] > 0 ? lo - my_lo : 0;
+      }
+
+      for (int i = 0; i < 3; ++i)
+        port->call_oneway(cohort, "deposit", {po});
+      port->call(cohort, "sync", {std::int32_t(0)});
+      cohort.barrier();
+      const double t0 = bench::now_s();
+      for (int i = 0; i < iters; ++i)
+        port->call_oneway(cohort, "deposit", {po});
+      port->call(cohort, "sync", {std::int32_t(0)});
+      cohort.barrier();
+      if (cohort.rank() == 0) seconds = (bench::now_s() - t0) / iters;
+      port->shutdown_provider(cohort);
+    }
+  });
+  return seconds;
+}
+
+/// DAD path: the framework derives the same transfer from descriptors.
+double dad_redistribution(int m, int n, Index elements, int iters) {
+  auto src = dad::make_regular(
+      std::vector<AxisDist>{AxisDist::block(elements, m)});
+  auto dst = dad::make_regular(
+      std::vector<AxisDist>{AxisDist::block(elements, n)});
+  double seconds = 0;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill([](const Point&) { return 1.0; });
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+    for (int i = 0; i < 3; ++i)
+      sched::execute<double>(s, a.get(), b.get(), c, 5);
+    world.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i)
+      sched::execute<double>(s, a.get(), b.get(), c, 5);
+    world.barrier();
+    if (world.rank() == 0) seconds = (bench::now_s() - t0) / iters;
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const int m = 3, n = 2;
+  std::printf("=== DCA user-specified alltoallv vs DAD-derived schedule "
+              "(block %d -> block %d) ===\n", m, n);
+  bench::Table t({"elements", "dca_us", "dad_sched_us", "dca/dad"});
+  for (Index e : {1024, 32768, 262144}) {
+    const double dca_s = dca_redistribution(m, n, e, 15);
+    const double dad_s = dad_redistribution(m, n, e, 15);
+    t.row({std::to_string(e), bench::fmt_us(dca_s), bench::fmt_us(dad_s),
+           bench::fmt("%.2fx", dca_s / dad_s)});
+  }
+  t.print();
+  std::printf("\nShape check: the two paths converge for large payloads — "
+              "the data movement is identical; the DCA line carries the "
+              "invocation protocol, the DAD line the descriptor machinery. "
+              "The user-vs-framework bookkeeping trade is programmability, "
+              "not bandwidth.\n\n");
+  std::printf("(Barrier-delivery cost vs participants is measured in "
+              "bench_fig5_sync.)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figure 2 reproduction: direct-connected vs distributed frameworks. In a
+// direct-connected framework a port invocation "looks like a refined form
+// of library call"; in a distributed framework it becomes remote method
+// invocation with full argument marshalling. We measure one port invocation
+// through both framework kinds across payload sizes. The shape to observe:
+// a constant ~ns direct call vs a marshalling+messaging RMI cost that grows
+// with payload, several orders of magnitude apart at small payloads.
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/framework.hpp"
+#include "prmi/distributed_framework.hpp"
+#include "rt/runtime.hpp"
+#include "sidl/parser.hpp"
+
+namespace core = mxn::core;
+namespace prmi = mxn::prmi;
+namespace rt = mxn::rt;
+
+namespace {
+
+// --- direct-connected: an echo port invoked as a virtual call -------------
+
+class EchoPort : public core::Port {
+ public:
+  virtual std::vector<double>& echo(std::vector<double>& v) = 0;
+};
+
+class EchoComponent : public core::Component, public EchoPort {
+ public:
+  void set_services(core::Services& s) override {
+    s.add_provides_port("echo", "bench.Echo",
+                        std::shared_ptr<core::Port>(
+                            static_cast<EchoPort*>(this), [](auto*) {}));
+  }
+  std::vector<double>& echo(std::vector<double>& v) override {
+    v[0] += 1.0;
+    return v;
+  }
+};
+
+double direct_call_seconds(std::size_t payload_doubles, int iters) {
+  double per_call = 0;
+  rt::spawn(1, [&](rt::Communicator& world) {
+    core::Framework fw(world);
+    auto comp = std::make_shared<EchoComponent>();
+    fw.instantiate("echo", comp);
+    class User : public core::Component {
+     public:
+      void set_services(core::Services& s) override {
+        svc = &s;
+        s.register_uses_port("out", "bench.Echo");
+      }
+      core::Services* svc = nullptr;
+    };
+    auto user = std::make_shared<User>();
+    fw.instantiate("user", user);
+    fw.connect("user", "out", "echo", "echo");
+    auto port = user->svc->get_port_as<EchoPort>("out");
+    std::vector<double> v(payload_doubles, 1.0);
+    // Warmup + timed loop.
+    for (int i = 0; i < 100; ++i) port->echo(v);
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) port->echo(v);
+    per_call = (bench::now_s() - t0) / iters;
+  });
+  return per_call;
+}
+
+// --- distributed: the same echo through PRMI -------------------------------
+
+const char* kSidl = R"(
+  package bench { interface Echo {
+    collective void echo(inout array<double,1> v);
+  } }
+)";
+
+double rmi_call_seconds(std::size_t payload_doubles, int iters) {
+  double per_call = 0;
+  rt::spawn(2, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    fw.instantiate("user", {0});
+    fw.instantiate("echo", {1});
+    auto pkg = mxn::sidl::parse_package(kSidl);
+    if (fw.member_of("echo")) {
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("Echo"));
+      servant->bind("echo", [](prmi::CalleeContext&,
+                               std::vector<prmi::Value>& args) -> prmi::Value {
+        std::get<std::vector<double>>(args[0])[0] += 1.0;
+        return {};
+      });
+      fw.add_provides("echo", "echo", servant);
+      fw.connect("user", "echo", "echo", "echo");
+      fw.serve("echo", -1);
+    } else {
+      fw.register_uses("user", "echo", pkg.interface("Echo"));
+      fw.connect("user", "echo", "echo", "echo");
+      auto port = fw.get_port("user", "echo");
+      std::vector<double> v(payload_doubles, 1.0);
+      for (int i = 0; i < 20; ++i) port->call("echo", {v});
+      const double t0 = bench::now_s();
+      for (int i = 0; i < iters; ++i) port->call("echo", {v});
+      per_call = (bench::now_s() - t0) / iters;
+      port->shutdown_provider();
+    }
+  });
+  return per_call;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: port invocation cost — direct-connected vs "
+              "distributed framework ===\n");
+  bench::Table t({"payload_B", "direct_ns", "rmi_us", "rmi/direct"});
+  for (std::size_t doubles : {1u, 128u, 8192u, 131072u}) {
+    const int direct_iters = 200000;
+    const int rmi_iters = doubles > 10000 ? 200 : 2000;
+    const double d = direct_call_seconds(doubles, direct_iters);
+    const double r = rmi_call_seconds(doubles, rmi_iters);
+    t.row({std::to_string(doubles * sizeof(double)),
+           bench::fmt("%.1f", d * 1e9), bench::fmt("%.2f", r * 1e6),
+           bench::fmt("%.0fx", r / d)});
+  }
+  t.print();
+  std::printf("\nShape check: the direct-connected call is payload-"
+              "independent (a virtual call through the port reference); the "
+              "distributed call pays marshalling + two messages and scales "
+              "with payload.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 3 reproduction: paired M×N components mediating communication
+// between two direct-connected framework instances. We measure the three
+// connection regimes of the unified CCA M×N interface (§4.1): one-shot
+// connections (PAWS-style, schedule cache reused across establishes),
+// persistent loose channels (CUMULVS-style, no acks) and persistent tight
+// channels (handshake sync option). The shape: persistence amortizes
+// establishment, and the handshake costs one ack round per transfer.
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/mxn_component.hpp"
+#include "rt/runtime.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Point;
+
+namespace {
+
+struct Case {
+  const char* name;
+  bool persistent;
+  bool handshake;
+};
+
+double run_case(const Case& cs, int m, int n, dad::Index extent,
+                int transfers) {
+  auto src_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, m), AxisDist::collapsed(64)});
+  auto dst_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(extent, n), AxisDist::collapsed(64)});
+  double per_transfer = 0;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    const int side = world.rank() < m ? 0 : 1;
+    auto mxn = core::make_paired_mxn(world, m, n);
+    auto cohort = world.split(side, world.rank());
+    dad::DistArray<double> arr(side == 0 ? src_desc : dst_desc,
+                               cohort.rank());
+    if (side == 0) arr.fill([](const Point& p) { return double(p[0]); });
+    mxn->register_field(
+        core::make_field("f", &arr, core::AccessMode::ReadWrite));
+
+    world.barrier();
+    const double t0 = bench::now_s();
+    if (cs.persistent) {
+      core::ConnectionSpec spec;
+      spec.src_field = spec.dst_field = "f";
+      spec.src_side = 0;
+      spec.one_shot = false;
+      spec.handshake = cs.handshake;
+      mxn->establish(spec);
+      for (int i = 0; i < transfers; ++i) mxn->data_ready("f");
+    } else {
+      for (int i = 0; i < transfers; ++i) {
+        core::ConnectionSpec spec;
+        spec.src_field = spec.dst_field = "f";
+        spec.src_side = 0;
+        spec.one_shot = true;
+        mxn->establish(spec);  // descriptor exchange; schedule from cache
+        mxn->data_ready("f");
+      }
+    }
+    world.barrier();
+    if (world.rank() == 0)
+      per_transfer = (bench::now_s() - t0) / transfers;
+  });
+  return per_transfer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: paired M x N components between two "
+              "direct-connected frameworks ===\n");
+  const int m = 3, n = 2, transfers = 50;
+  bench::Table t({"connection_mode", "rows", "per_transfer_us", "vs_persistent"});
+  const Case cases[] = {
+      {"persistent (CUMULVS, loose)", true, false},
+      {"persistent + handshake (tight)", true, true},
+      {"one-shot per transfer (PAWS)", false, false},
+  };
+  for (dad::Index extent : {64, 1024}) {
+    double base = 0;
+    for (const auto& cs : cases) {
+      const double s = run_case(cs, m, n, extent, transfers);
+      if (&cs == cases) base = s;
+      t.row({cs.name, std::to_string(extent), bench::fmt_us(s),
+             bench::fmt("%.2fx", s / base)});
+    }
+  }
+  t.print();
+  std::printf("\nShape check: persistent channels amortize connection "
+              "establishment; the handshake adds a fixed ack round; "
+              "one-shot re-establishment pays descriptor exchange every "
+              "time (the schedule itself is cached). At large payloads the "
+              "loose channel can LOSE to the handshake on an oversubscribed "
+              "node: unthrottled eager sends let the producer run ahead and "
+              "buffer every outstanding transfer, and the tight channel's "
+              "flow control removes that memory pressure — the trade-off "
+              "behind CUMULVS offering both synchronization options.\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// §4.4 reproduction: InterComm's two descriptor regimes and the timestamp
+// coordination layer.
+//  (a) Replicated vs partitioned schedule construction as the number of
+//      explicit patches grows: the replicated path pays O(global patches)
+//      memory and intersection work on every rank; the partitioned path
+//      pays a message wave but touches only local metadata.
+//  (b) Timestamp matching overhead: an export that transfers vs one the
+//      coordination rule filters out (the "express potential transfers"
+//      decoupling).
+
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "intercomm/coupler.hpp"
+#include "intercomm/distributed_schedule.hpp"
+#include "intercomm/local_array.hpp"
+#include "rt/runtime.hpp"
+#include "sched/coupling.hpp"
+
+namespace ic = mxn::intercomm;
+namespace dad = mxn::dad;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+using dad::Index;
+using dad::Patch;
+using dad::Point;
+
+namespace {
+
+constexpr int kM = 3, kN = 2;
+
+/// Slice [0, rows) x [0, cols) into `pieces` row slabs owned round-robin
+/// over `ranks` ranks.
+std::vector<dad::OwnedPatch> make_slabs(Index rows, Index cols, int pieces,
+                                        int ranks) {
+  std::vector<dad::OwnedPatch> out;
+  const Index h = (rows + pieces - 1) / pieces;
+  for (int i = 0; i < pieces; ++i) {
+    const Index lo = i * h;
+    if (lo >= rows) break;
+    Patch p = Patch::make(2, Point{lo, 0},
+                          Point{std::min(rows, lo + h), cols});
+    out.push_back({p, i % ranks});
+  }
+  return out;
+}
+
+struct BuildCost {
+  double replicated_s = 0;
+  double partitioned_s = 0;
+  std::size_t descriptor_entries = 0;
+};
+
+BuildCost build_cost(Index rows, int pieces) {
+  const Index cols = 8;
+  auto src_patches = make_slabs(rows, cols, pieces, kM);
+  auto dst_patches = make_slabs(rows, cols, pieces + 1, kN);
+  auto src = dad::make_explicit(2, Point{rows, cols}, src_patches, kM);
+  auto dst = dad::make_explicit(2, Point{rows, cols}, dst_patches, kN);
+
+  BuildCost out;
+  out.descriptor_entries = src->descriptor_entries() +
+                           dst->descriptor_entries();
+  rt::spawn(kM + kN, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, kM, kN);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+
+    world.barrier();
+    const double t0 = bench::now_s();
+    auto rep = sched::build_region_schedule(*src, *dst, ms, md);
+    world.barrier();
+    const double t1 = bench::now_s();
+
+    std::vector<Patch> mine;
+    if (ms >= 0)
+      for (const auto& op : src_patches)
+        if (op.owner == ms) mine.push_back(op.patch);
+    if (md >= 0)
+      for (const auto& op : dst_patches)
+        if (op.owner == md) mine.push_back(op.patch);
+    auto part = ic::build_region_schedule_partitioned(
+        ms >= 0 ? mine : std::vector<Patch>{},
+        md >= 0 ? mine : std::vector<Patch>{}, c, 80);
+    world.barrier();
+    const double t2 = bench::now_s();
+    if (world.rank() == 0) {
+      out.replicated_s = t1 - t0;
+      out.partitioned_s = t2 - t1;
+    }
+    (void)rep;
+    (void)part;
+  });
+  return out;
+}
+
+struct MatchCost {
+  double matched_us = 0;
+  double filtered_us = 0;
+};
+
+MatchCost match_cost(Index elements, int iters) {
+  MatchCost out;
+  rt::spawn(2, [&](rt::Communicator& world) {
+    const bool exp = world.rank() == 0;
+    auto cohort = world.split(world.rank(), 0);
+    ic::EndpointConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    cfg.my_ranks = {exp ? 0 : 1};
+    cfg.peer_ranks = {exp ? 1 : 0};
+    auto desc = dad::make_regular(std::vector<dad::AxisDist>{
+        dad::AxisDist::block(elements, 1)});
+    dad::DistArray<double> arr(desc, 0);
+    if (exp) {
+      arr.fill([](const Point&) { return 1.0; });
+      auto e = ic::Exporter::replicated(
+          cfg, mxn::core::make_field("f", &arr,
+                                     mxn::core::AccessMode::Read),
+          ic::MatchPolicy::Exact, /*buffer_depth=*/8 * iters);
+      // Phase 1: every export matched (importer asks for every ts).
+      for (int i = 1; i <= iters; ++i) e.do_export(i);
+      // Phase 2: only every 4th export matched.
+      for (int i = iters + 1; i <= 5 * iters; ++i) e.do_export(i);
+      e.finalize();
+    } else {
+      auto imp = ic::Importer::replicated(
+          cfg, mxn::core::make_field("f", &arr,
+                                     mxn::core::AccessMode::Write),
+          ic::MatchPolicy::Exact);
+      double t0 = bench::now_s();
+      for (int i = 1; i <= iters; ++i) imp.do_import(i);
+      out.matched_us = (bench::now_s() - t0) / iters;
+      t0 = bench::now_s();
+      for (int i = iters + 4; i <= 5 * iters; i += 4) imp.do_import(i);
+      out.filtered_us = (bench::now_s() - t0) / iters;
+      imp.close();
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== InterComm: replicated vs partitioned descriptor "
+              "schedule build (explicit distributions) ===\n");
+  bench::Table t({"patches", "descriptor_entries", "replicated_us",
+                  "partitioned_us", "part/repl"});
+  for (int pieces : {8, 64, 512}) {
+    auto c = build_cost(4096, pieces);
+    t.row({std::to_string(pieces) + "+" + std::to_string(pieces + 1),
+           std::to_string(c.descriptor_entries),
+           bench::fmt_us(c.replicated_s), bench::fmt_us(c.partitioned_s),
+           bench::fmt("%.2fx", c.partitioned_s / c.replicated_s)});
+  }
+  t.print();
+  std::printf("\nShape check: replicated build grows with the GLOBAL patch "
+              "count on every rank; partitioned build exchanges messages "
+              "but intersects only local metadata — it wins as descriptors "
+              "get large, which is exactly why InterComm partitions "
+              "explicit descriptors.\n\n");
+
+  std::printf("=== Timestamp coordination: matched vs rule-filtered exports "
+              "===\n");
+  bench::Table t2({"elements", "matched_import_us", "filtered_batch_us"});
+  for (Index e : {1024, 65536}) {
+    auto c = match_cost(e, 40);
+    t2.row({std::to_string(e), bench::fmt_us(c.matched_us),
+            bench::fmt_us(c.filtered_us)});
+  }
+  t2.print();
+  std::printf("\nShape check: exports the rule filters out cost only "
+              "buffering — the importer's cadence, not the exporter's, "
+              "determines data movement.\n");
+  return 0;
+}

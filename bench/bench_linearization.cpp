@@ -1,0 +1,111 @@
+// §2.2 reproduction: compact descriptors vs structureless linearization.
+// "Using the most compact descriptor appropriate for a given distribution
+// usually allows a DA package to provide better performance than is
+// possible for a completely general, structureless linearization, such as
+// the DAD's implicit distribution type."
+//
+// We measure, with google-benchmark: (a) schedule construction through the
+// DAD patch-intersection path vs the linearization segment path, for the
+// same redistribution; (b) the cost of querying a compact block-cyclic
+// descriptor vs a structureless implicit descriptor of the same
+// distribution; (c) descriptor metadata size (reported as labels).
+
+#include <benchmark/benchmark.h>
+
+#include "linear/linearization.hpp"
+#include "sched/schedule.hpp"
+
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+namespace sched = mxn::sched;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+constexpr int kRanks = 6;
+
+void bm_region_schedule(benchmark::State& state) {
+  const Index extent = state.range(0);
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, kRanks), AxisDist::collapsed(8)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(extent, kRanks, 8), AxisDist::collapsed(8)});
+  for (auto _ : state) {
+    auto s = sched::build_region_schedule(*src, *dst, 0, -1);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel("DAD patch intersection");
+}
+
+void bm_segment_schedule(benchmark::State& state) {
+  const Index extent = state.range(0);
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, kRanks), AxisDist::collapsed(8)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(extent, kRanks, 8), AxisDist::collapsed(8)});
+  const auto l = lin::Linearization::row_major(2, Point{extent, 8});
+  for (auto _ : state) {
+    auto s = sched::build_segment_schedule(*src, l, *dst, l, 0, -1);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel("linearization segment intersection");
+}
+
+/// Owner query throughput: compact block-cyclic vs structureless implicit
+/// describing the SAME distribution. The extent is large enough that the
+/// implicit descriptor's per-element table (one int per index) blows the
+/// cache under random access, which is where "potentially expensive
+/// queries into the descriptor" (§2.2.2) bites; the compact descriptor is
+/// two integer ops and no memory.
+void bm_owner_query(benchmark::State& state, bool structureless) {
+  const Index extent = 1 << 22;  // 16 MiB of owner entries when implicit
+  AxisDist compact = AxisDist::block_cyclic(extent, kRanks, 4);
+  std::vector<int> owners(extent);
+  for (Index i = 0; i < extent; ++i)
+    owners[i] = static_cast<int>((i / 4) % kRanks);
+  AxisDist implicit = AxisDist::implicit(owners, kRanks);
+  const AxisDist& d = structureless ? implicit : compact;
+  Index i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.owner(i));
+    i = (i * 1103515245 + 12345) & (extent - 1);  // pseudo-random walk
+  }
+  state.SetLabel(structureless
+                     ? "implicit: " + std::to_string(d.descriptor_entries()) +
+                           " descriptor entries (16 MiB)"
+                     : "block-cyclic: " +
+                           std::to_string(d.descriptor_entries()) +
+                           " descriptor entries");
+}
+
+/// Footprint construction: how many segments a rank's data shatters into
+/// under a linearization (drives segment-schedule cost).
+void bm_footprint(benchmark::State& state, bool row_major) {
+  const Index extent = state.range(0);
+  auto d = dad::Descriptor::regular(std::vector<AxisDist>{
+      AxisDist::block(extent, kRanks), AxisDist::collapsed(16)});
+  const auto l = row_major
+                     ? lin::Linearization::row_major(2, Point{extent, 16})
+                     : lin::Linearization::column_major(2, Point{extent, 16});
+  std::size_t segs = 0;
+  for (auto _ : state) {
+    auto f = lin::footprint(d, 0, l);
+    segs = f.size();
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetLabel((row_major ? "row-major: " : "column-major: ") +
+                 std::to_string(segs) + " segments");
+}
+
+}  // namespace
+
+BENCHMARK(bm_region_schedule)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(bm_segment_schedule)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK_CAPTURE(bm_owner_query, compact, false);
+BENCHMARK_CAPTURE(bm_owner_query, structureless, true);
+BENCHMARK_CAPTURE(bm_footprint, row_major, true)->Arg(1 << 12);
+BENCHMARK_CAPTURE(bm_footprint, column_major, false)->Arg(1 << 12);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// §4.5 reproduction: MCT's higher-level coupling machinery.
+//  (a) Router throughput between components of different sizes, single vs
+//      multi-field AttrVects (the multi-field batching MCT advertises);
+//  (b) interpolation as distributed sparse matvec: cost vs halo fraction
+//      (how much of x must be fetched from other ranks);
+//  (c) Rearranger (intra-component redistribution) vs Router round trip.
+
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "mct/router.hpp"
+#include "mct/sparse_matrix.hpp"
+#include "rt/runtime.hpp"
+
+namespace mct = mxn::mct;
+namespace rt = mxn::rt;
+using mct::AttrVect;
+using mct::GlobalSegMap;
+using mct::Index;
+
+namespace {
+
+double router_throughput(int m, int n, Index gsize, int nfields,
+                         int iters) {
+  auto src_map = GlobalSegMap::block(gsize, m);
+  auto dst_map = GlobalSegMap::cyclic(gsize, n, 16);
+  double seconds = 0;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    const bool is_src = world.rank() < m;
+    auto cohort = world.split(is_src ? 0 : 1, world.rank());
+    mct::RouterConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    std::vector<int> a(m), b(n);
+    std::iota(a.begin(), a.end(), 0);
+    std::iota(b.begin(), b.end(), m);
+    cfg.my_ranks = is_src ? a : b;
+    cfg.peer_ranks = is_src ? b : a;
+    cfg.tag = 200;
+    std::vector<std::string> fields;
+    for (int f = 0; f < nfields; ++f)
+      fields.push_back("f" + std::to_string(f));
+    if (is_src) {
+      auto router = mct::Router::source(cfg, src_map);
+      AttrVect av(fields, src_map.local_size(cohort.rank()));
+      for (int i = 0; i < 3; ++i) router.send(av);
+      world.barrier();
+      const double t0 = bench::now_s();
+      for (int i = 0; i < iters; ++i) router.send(av);
+      world.barrier();
+      if (world.rank() == 0) seconds = (bench::now_s() - t0) / iters;
+    } else {
+      auto router = mct::Router::destination(cfg, dst_map);
+      AttrVect av(fields, dst_map.local_size(cohort.rank()));
+      for (int i = 0; i < 3; ++i) router.recv(av);
+      world.barrier();
+      for (int i = 0; i < iters; ++i) router.recv(av);
+      world.barrier();
+    }
+  });
+  return seconds;
+}
+
+struct MatvecCost {
+  double seconds = 0;
+  std::size_t halo = 0;
+};
+
+/// y_r = (x_r + x_{(r+offset) mod n}) / 2: a fixed 2-nonzeros-per-row
+/// matrix whose second column is `offset` away, so the halo fraction grows
+/// with offset while the flop count stays constant — isolating the
+/// communication share of the matvec.
+MatvecCost matvec_cost(Index n, Index offset, int iters) {
+  const int procs = 4;
+  auto map = GlobalSegMap::block(n, procs);
+  MatvecCost out;
+  rt::spawn(procs, [&](rt::Communicator& world) {
+    const int me = world.rank();
+    std::vector<mct::SparseMatrix::Element> es;
+    for (const auto& s : map.segs_of(me)) {
+      for (Index r = s.start; r < s.start + s.length; ++r) {
+        es.push_back({r, r, 0.5});
+        es.push_back({r, (r + offset) % n, 0.5});
+      }
+    }
+    mct::SparseMatrix A(world, map, map, es, 210);
+    AttrVect x({"t", "q"}, map.local_size(me));
+    for (Index l = 0; l < x.length(); ++l)
+      x.field(0)[l] = double(map.global_index(me, l));
+    AttrVect y({"t", "q"}, map.local_size(me));
+    for (int i = 0; i < 3; ++i) A.matvec(x, y);
+    world.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) A.matvec(x, y);
+    world.barrier();
+    if (me == 0) {
+      out.seconds = (bench::now_s() - t0) / iters;
+      out.halo = A.halo_size();
+    }
+  });
+  return out;
+}
+
+double rearrange_cost(Index gsize, int iters) {
+  const int procs = 4;
+  auto block = GlobalSegMap::block(gsize, procs);
+  auto cyc = GlobalSegMap::cyclic(gsize, procs, 32);
+  double seconds = 0;
+  rt::spawn(procs, [&](rt::Communicator& world) {
+    mct::Rearranger rearr(world, block, cyc, 220);
+    AttrVect src({"f"}, block.local_size(world.rank()));
+    AttrVect dst({"f"}, cyc.local_size(world.rank()));
+    for (int i = 0; i < 3; ++i) rearr.rearrange(src, dst);
+    world.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) rearr.rearrange(src, dst);
+    world.barrier();
+    if (world.rank() == 0) seconds = (bench::now_s() - t0) / iters;
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== MCT Router: intermodule AttrVect transfer ===\n");
+  bench::Table t({"M", "N", "points", "fields", "per_xfer_us", "MB/s"});
+  for (Index g : {4096, 65536}) {
+    for (int nf : {1, 4}) {
+      const double s = router_throughput(3, 2, g, nf, 15);
+      t.row({"3", "2", std::to_string(g), std::to_string(nf),
+             bench::fmt_us(s),
+             bench::fmt_mbs(double(g) * nf * sizeof(double), s)});
+    }
+  }
+  t.print();
+
+  std::printf("\n=== Interpolation as distributed sparse matvec: cost vs "
+              "halo (constant 2 nnz/row) ===\n");
+  bench::Table t2({"points", "col_offset", "halo_points", "per_mv_us"});
+  for (Index offset : {0, 2, 512, 4096, 8192}) {
+    auto c = matvec_cost(16384, offset, 10);
+    t2.row({"16384", std::to_string(offset), std::to_string(c.halo),
+            bench::fmt_us(c.seconds)});
+  }
+  t2.print();
+
+  std::printf("\n=== Rearranger: intra-component redistribution ===\n");
+  bench::Table t3({"points", "per_rearrange_us"});
+  for (Index g : {4096, 65536, 262144}) {
+    t3.row({std::to_string(g), bench::fmt_us(rearrange_cost(g, 10))});
+  }
+  t3.print();
+  std::printf("\nShape check: multi-field transfers amortize per-message "
+              "overhead; with flops held constant, matvec cost tracks the "
+              "halo volume the column offset drags across partition "
+              "boundaries; the Rearranger scales with bytes crossing "
+              "owners.\n");
+  return 0;
+}

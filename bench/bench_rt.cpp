@@ -1,0 +1,119 @@
+// Substrate characterization: the mxn::rt message-passing runtime that
+// stands in for MPI (see DESIGN.md, Substitutions). These numbers set the
+// floor under every other bench — a port invocation, a dataReady transfer
+// or a Router exchange can never beat the raw ping-pong and collective
+// costs reported here.
+
+#include "bench_util.hpp"
+#include "rt/runtime.hpp"
+
+namespace rt = mxn::rt;
+
+namespace {
+
+double pingpong(std::size_t bytes, int iters) {
+  double per_roundtrip = 0;
+  rt::spawn(2, [&](rt::Communicator& comm) {
+    std::vector<std::byte> payload(bytes);
+    for (int i = 0; i < 20; ++i) {  // warmup
+      if (comm.rank() == 0) {
+        comm.send(1, 1, payload);
+        comm.recv(1, 2);
+      } else {
+        comm.recv(0, 1);
+        comm.send(0, 2, payload);
+      }
+    }
+    comm.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(1, 1, payload);
+        comm.recv(1, 2);
+      } else {
+        comm.recv(0, 1);
+        comm.send(0, 2, payload);
+      }
+    }
+    if (comm.rank() == 0) per_roundtrip = (bench::now_s() - t0) / iters;
+  });
+  return per_roundtrip;
+}
+
+double collective_cost(const char* which, int nprocs, int iters) {
+  double per_op = 0;
+  const std::string op = which;
+  rt::spawn(nprocs, [&](rt::Communicator& comm) {
+    auto once = [&] {
+      if (op == "barrier") {
+        comm.barrier();
+      } else if (op == "bcast") {
+        comm.bcast_value<int>(comm.rank(), 0);
+      } else if (op == "allgather") {
+        comm.allgather_value<int>(comm.rank());
+      } else if (op == "alltoall") {
+        std::vector<std::vector<std::byte>> out(
+            comm.size(), std::vector<std::byte>(8));
+        comm.alltoall(out);
+      }
+    };
+    for (int i = 0; i < 10; ++i) once();
+    comm.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) once();
+    if (comm.rank() == 0) per_op = (bench::now_s() - t0) / iters;
+  });
+  return per_op;
+}
+
+double split_cost(int nprocs, int iters) {
+  double per_split = 0;
+  rt::spawn(nprocs, [&](rt::Communicator& comm) {
+    comm.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < iters; ++i) {
+      auto sub = comm.split(comm.rank() % 2, comm.rank());
+      (void)sub;
+    }
+    if (comm.rank() == 0) per_split = (bench::now_s() - t0) / iters;
+  });
+  return per_split;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== mxn::rt substrate: point-to-point ping-pong ===\n");
+  bench::Table t({"bytes", "roundtrip_us", "MB/s_oneway"});
+  for (std::size_t b : {8u, 1024u, 65536u, 1048576u}) {
+    const int iters = b > 100000 ? 200 : 2000;
+    const double s = pingpong(b, iters);
+    t.row({std::to_string(b), bench::fmt_us(s),
+           bench::fmt_mbs(double(b) * 2, s)});
+  }
+  t.print();
+
+  std::printf("\n=== collectives: per-operation cost vs process count ===\n");
+  bench::Table t2({"procs", "barrier_us", "bcast_us", "allgather_us",
+                   "alltoall_us"});
+  for (int p : {2, 4, 8, 16}) {
+    const int iters = 500;
+    t2.row({std::to_string(p),
+            bench::fmt_us(collective_cost("barrier", p, iters)),
+            bench::fmt_us(collective_cost("bcast", p, iters)),
+            bench::fmt_us(collective_cost("allgather", p, iters)),
+            bench::fmt_us(collective_cost("alltoall", p, iters))});
+  }
+  t2.print();
+
+  std::printf("\n=== communicator split (rendezvous board) ===\n");
+  bench::Table t3({"procs", "split_us"});
+  for (int p : {2, 8, 16}) t3.row({std::to_string(p),
+                                   bench::fmt_us(split_cost(p, 200))});
+  t3.print();
+
+  std::printf("\nContext: all \"processes\" are threads sharing this "
+              "machine's core(s); these are shared-memory message costs, "
+              "the in-process analogue of MPI on one node.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// §2.3 reproduction: "Communication schedules can be expensive to
+// calculate, especially if the varieties of source and destination
+// templates are numerous" — and templates + caching amortize them. This
+// google-benchmark binary measures schedule build cost across distribution
+// kinds (block, cyclic, block-cyclic, generalized block, explicit patches)
+// and array sizes, plus the cached-reuse fast path. Shapes to observe:
+// cost grows with the number of patch pairs intersected (cyclic worst),
+// and a cache hit is orders of magnitude cheaper than any build.
+
+#include <benchmark/benchmark.h>
+
+#include "sched/cache.hpp"
+#include "sched/schedule.hpp"
+
+namespace dad = mxn::dad;
+namespace sched = mxn::sched;
+using dad::AxisDist;
+using dad::Index;
+
+namespace {
+
+constexpr int kRanks = 8;
+
+dad::DescriptorPtr make_desc(const std::string& kind, Index extent) {
+  if (kind == "block")
+    return dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block(extent, kRanks)});
+  if (kind == "cyclic")
+    return dad::make_regular(
+        std::vector<AxisDist>{AxisDist::cyclic(extent, kRanks)});
+  if (kind == "bc16")
+    return dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block_cyclic(extent, kRanks, 16)});
+  if (kind == "genblock") {
+    std::vector<Index> sizes(kRanks);
+    Index rem = extent;
+    for (int p = 0; p < kRanks; ++p) {
+      sizes[p] = (p == kRanks - 1) ? rem : (extent / kRanks + (p % 2));
+      rem -= sizes[p];
+    }
+    return dad::make_regular(
+        std::vector<AxisDist>{AxisDist::generalized_block(sizes)});
+  }
+  // explicit: kRanks equal slabs as explicit patches
+  std::vector<dad::OwnedPatch> ps;
+  const Index chunk = extent / kRanks;
+  for (int p = 0; p < kRanks; ++p) {
+    dad::Patch patch;
+    patch.ndim = 1;
+    patch.lo = {p * chunk};
+    patch.hi = {p == kRanks - 1 ? extent : (p + 1) * chunk};
+    ps.push_back({patch, p});
+  }
+  return dad::make_explicit(1, dad::Point{extent}, std::move(ps), kRanks);
+}
+
+void bm_build(benchmark::State& state, const std::string& src_kind,
+              const std::string& dst_kind) {
+  const Index extent = state.range(0);
+  auto src = make_desc(src_kind, extent);
+  auto dst = make_desc(dst_kind, extent);
+  for (auto _ : state) {
+    for (int r = 0; r < kRanks; ++r) {
+      auto s = sched::build_region_schedule(*src, *dst, r, -1);
+      benchmark::DoNotOptimize(s);
+    }
+  }
+  state.SetLabel(src->to_string() + " -> " + dst->to_string());
+  state.SetItemsProcessed(state.iterations() * extent);
+}
+
+/// Ablation: bounding-box pruning of peer ranks. block->block at many
+/// ranks is the best case (only O(1) peers overlap each rank).
+void bm_prune(benchmark::State& state, bool prune) {
+  const Index extent = 1 << 16;
+  auto src = dad::make_regular(
+      std::vector<AxisDist>{AxisDist::block(extent, 64)});
+  auto dst = dad::make_regular(
+      std::vector<AxisDist>{AxisDist::block(extent, 48)});
+  for (auto _ : state) {
+    auto s = sched::build_region_schedule(*src, *dst, 7, -1, prune);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(prune ? "bbox pruning ON" : "bbox pruning OFF");
+}
+
+void bm_cache_hit(benchmark::State& state) {
+  auto src = make_desc("block", 1 << 14);
+  auto dst = make_desc("cyclic", 1 << 14);
+  sched::ScheduleCache cache;
+  cache.get(src, dst, 0, -1);
+  for (auto _ : state) {
+    const auto& s = cache.get(src, dst, 0, -1);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+
+void bm_descriptor_construction(benchmark::State& state,
+                                const std::string& kind) {
+  const Index extent = state.range(0);
+  for (auto _ : state) {
+    auto d = make_desc(kind, extent);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_build, block_to_block, "block", "block")
+    ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(bm_build, block_to_genblock, "block", "genblock")
+    ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(bm_build, block_to_explicit, "block", "explicit")
+    ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK_CAPTURE(bm_build, block_to_bc16, "block", "bc16")
+    ->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK_CAPTURE(bm_build, bc16_to_bc16_shifted, "bc16", "cyclic")
+    ->Arg(1 << 10)->Arg(1 << 12);
+BENCHMARK_CAPTURE(bm_build, cyclic_to_block, "cyclic", "block")
+    ->Arg(1 << 10)->Arg(1 << 12);
+BENCHMARK_CAPTURE(bm_prune, off, false);
+BENCHMARK_CAPTURE(bm_prune, on, true);
+BENCHMARK(bm_cache_hit);
+BENCHMARK_CAPTURE(bm_descriptor_construction, block, "block")
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(bm_descriptor_construction, cyclic, "cyclic")
+    ->Arg(1 << 14);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Climate-style coupled model in the MCT idiom (paper §4.5): a coarse-grid
+// "atmosphere" on 3 processes and a fine-grid "ocean" on 2 processes run
+// concurrently with different time steps. The atmosphere accumulates a heat
+// flux over its (shorter) steps; at every coupling interval the time
+// average crosses to the ocean through a Router, is interpolated onto the
+// ocean grid by a distributed sparse matrix-vector multiply, blended with
+// a sea-ice flux by the merge facility, and checked for conservation with
+// paired area-weighted integrals.
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "mct/accumulator.hpp"
+#include "mct/grid.hpp"
+#include "mct/merge.hpp"
+#include "mct/registry.hpp"
+#include "mct/router.hpp"
+#include "mct/sparse_matrix.hpp"
+#include "rt/runtime.hpp"
+
+namespace mct = mxn::mct;
+namespace rt = mxn::rt;
+using mct::AttrVect;
+using mct::GlobalSegMap;
+using mct::Index;
+
+namespace {
+
+constexpr int kAtmProcs = 3;
+constexpr int kOcnProcs = 2;
+constexpr Index kAtmPoints = 17;              // coarse grid
+constexpr Index kOcnPoints = 2 * kAtmPoints - 1;  // fine grid (midpoints)
+constexpr int kAtmStepsPerCoupling = 4;
+constexpr int kCouplings = 3;
+
+/// Linear coarse->fine interpolation weights, rows distributed by row_map.
+std::vector<mct::SparseMatrix::Element> interp_elements(
+    const GlobalSegMap& row_map, int rank) {
+  std::vector<mct::SparseMatrix::Element> es;
+  for (const auto& s : row_map.segs_of(rank)) {
+    for (Index r = s.start; r < s.start + s.length; ++r) {
+      if (r % 2 == 0) {
+        es.push_back({r, r / 2, 1.0});
+      } else {
+        es.push_back({r, r / 2, 0.5});
+        es.push_back({r, r / 2 + 1, 0.5});
+      }
+    }
+  }
+  return es;
+}
+
+}  // namespace
+
+int main() {
+  mct::Registry registry;
+  registry.add("atm", {0, 1, 2});
+  registry.add("ocn", {3, 4});
+
+  // Decompositions: the atmosphere's own grid over its cohort; the ocean
+  // holds (a) the atmosphere numbering redistributed over ITS cohort (the
+  // Router target) and (b) its own fine grid.
+  auto atm_map = GlobalSegMap::block(kAtmPoints, kAtmProcs);
+  auto atm_on_ocn = GlobalSegMap::block(kAtmPoints, kOcnProcs);
+  auto ocn_map = GlobalSegMap::block(kOcnPoints, kOcnProcs);
+
+  rt::spawn(kAtmProcs + kOcnProcs, [&](rt::Communicator& world) {
+    const bool is_atm = registry.member("atm", world.rank());
+    auto cohort = world.split(is_atm ? 0 : 1, world.rank());
+    const int me = cohort.rank();
+
+    mct::RouterConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    cfg.my_ranks = registry.ranks_of(is_atm ? "atm" : "ocn");
+    cfg.peer_ranks = registry.ranks_of(is_atm ? "ocn" : "atm");
+    cfg.tag = 100;
+
+    if (is_atm) {
+      auto router = mct::Router::source(cfg, atm_map);
+      const Index nloc = atm_map.local_size(me);
+      mct::Accumulator acc({"heat_flux"}, nloc);
+      AttrVect state({"heat_flux"}, nloc);
+      mct::GeneralGrid grid({"lon"}, nloc);
+      for (Index l = 0; l < nloc; ++l) {
+        const Index g = atm_map.global_index(me, l);
+        grid.area()[l] = (g == 0 || g == kAtmPoints - 1) ? 0.75 : 1.0;
+      }
+
+      int step = 0;
+      for (int c = 0; c < kCouplings; ++c) {
+        for (int s = 0; s < kAtmStepsPerCoupling; ++s, ++step) {
+          // A smooth flux field that drifts with time.
+          for (Index l = 0; l < nloc; ++l) {
+            const Index g = atm_map.global_index(me, l);
+            state.field(0)[l] = 10.0 + g + 0.25 * step;
+          }
+          acc.accumulate(state);
+        }
+        auto mean = acc.average();
+        const double sent =
+            mct::spatial_integral(mean, 0, grid, cohort);
+        if (me == 0)
+          std::printf("[atm] coupling %d: exported time-averaged flux, "
+                      "integral = %.6f\n",
+                      c, sent);
+        router.send(mean);
+        acc.reset();
+      }
+    } else {
+      auto router = mct::Router::destination(cfg, atm_on_ocn);
+      mct::SparseMatrix interp(cohort, ocn_map, atm_on_ocn,
+                               interp_elements(ocn_map, me), 101);
+      const Index n_in = atm_on_ocn.local_size(me);
+      const Index n_out = ocn_map.local_size(me);
+      AttrVect incoming({"heat_flux"}, n_in);
+      AttrVect on_ocean({"heat_flux"}, n_out);
+      AttrVect ice_flux({"heat_flux"}, n_out);
+      AttrVect blended({"heat_flux"}, n_out);
+
+      // Fine-grid areas chosen so the linear interpolation conserves the
+      // integral (A^T w_fine == w_coarse).
+      mct::GeneralGrid fine({"lon"}, n_out);
+      for (Index l = 0; l < n_out; ++l) fine.area()[l] = 0.5;
+      // Coarse-side weights on the redistributed numbering, for the paired
+      // integral.
+      mct::GeneralGrid coarse_here({"lon"}, n_in);
+      for (Index l = 0; l < n_in; ++l) {
+        const Index g = atm_on_ocn.global_index(me, l);
+        coarse_here.area()[l] = (g == 0 || g == kAtmPoints - 1) ? 0.75 : 1.0;
+      }
+      // Sea-ice covers 30% of every cell with a fixed flux.
+      std::vector<double> f_open(n_out, 0.7), f_ice(n_out, 0.3);
+      for (Index l = 0; l < n_out; ++l) ice_flux.field(0)[l] = 2.0;
+
+      for (int c = 0; c < kCouplings; ++c) {
+        router.recv(incoming);
+        const double before =
+            mct::spatial_integral(incoming, 0, coarse_here, cohort);
+        interp.matvec(incoming, on_ocean);
+        const double after =
+            mct::spatial_integral(on_ocean, 0, fine, cohort);
+        mct::merge(blended, {{&on_ocean, f_open}, {&ice_flux, f_ice}});
+        if (me == 0) {
+          std::printf("[ocn] coupling %d: paired integrals %.6f -> %.6f "
+                      "(conservation error %.2e), blended sample = %.4f\n",
+                      c, before, after, std::abs(before - after),
+                      blended.field(0)[0]);
+        }
+        if (std::abs(before - after) > 1e-9)
+          throw std::runtime_error("interpolation failed to conserve flux");
+      }
+    }
+  });
+
+  std::printf("climate_coupling: %d couplings of atm(%d procs, %lld pts) -> "
+              "ocn(%d procs, %lld pts) completed conservatively\n",
+              kCouplings, kAtmProcs, static_cast<long long>(kAtmPoints),
+              kOcnProcs, static_cast<long long>(kOcnPoints));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fluid-structure coupling in the InterComm idiom (paper §4.4): a fluid
+// solver on 2 processes exports the pressure on an irregular wetted-surface
+// region every step; a structure solver on 1 process imports it at its own,
+// slower cadence. The two programs never coordinate directly — imports are
+// matched to exports by timestamp under the LOWERBOUND rule of the
+// coordination specification, and the descriptors are *partitioned*: no
+// process ever sees the global patch list.
+
+#include <cstdio>
+
+#include "intercomm/coupler.hpp"
+#include "intercomm/local_array.hpp"
+#include "rt/runtime.hpp"
+
+namespace ic = mxn::intercomm;
+namespace rt = mxn::rt;
+using mxn::dad::Patch;
+
+namespace {
+
+using mxn::dad::Index;
+using mxn::dad::Point;
+
+Patch patch2(Index lo0, Index hi0, Index lo1, Index hi1) {
+  return Patch::make(2, Point{lo0, lo1}, Point{hi0, hi1});
+}
+
+double pressure(const Point& p, int step) {
+  return 1.0 + 0.1 * step + 0.01 * (3 * p[0] + p[1]);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kFluidProcs = 2;
+  constexpr int kFluidSteps = 10;
+
+  rt::spawn(kFluidProcs + 1, [&](rt::Communicator& world) {
+    const bool is_fluid = world.rank() < kFluidProcs;
+    auto cohort = world.split(is_fluid ? 0 : 1, world.rank());
+
+    ic::EndpointConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    cfg.my_ranks = is_fluid ? std::vector<int>{0, 1} : std::vector<int>{2};
+    cfg.peer_ranks = is_fluid ? std::vector<int>{2} : std::vector<int>{0, 1};
+
+    if (is_fluid) {
+      // Irregular interface patches: rank 0 owns an L-shaped corner, rank 1
+      // the remainder of the 6x4 wetted surface.
+      std::vector<Patch> mine =
+          cohort.rank() == 0
+              ? std::vector<Patch>{patch2(0, 3, 0, 2), patch2(0, 1, 2, 4)}
+              : std::vector<Patch>{patch2(3, 6, 0, 2), patch2(1, 6, 2, 4)};
+      ic::LocalArray<double> surface(mine);
+      auto exporter = ic::Exporter::partitioned(
+          cfg, ic::make_local_field("pressure", &surface), mine,
+          ic::MatchPolicy::LowerBound, /*buffer_depth=*/16);
+
+      for (int step = 1; step <= kFluidSteps; ++step) {
+        surface.fill([&](const Point& p) { return pressure(p, step); });
+        exporter.do_export(step);
+      }
+      exporter.finalize();
+      if (cohort.rank() == 0)
+        std::printf("[fluid] exported %d steps; %llu transfers actually "
+                    "moved data (%llu elements)\n",
+                    kFluidSteps,
+                    static_cast<unsigned long long>(
+                        exporter.stats().transfers),
+                    static_cast<unsigned long long>(
+                        exporter.stats().elements));
+    } else {
+      std::vector<Patch> mine = {patch2(0, 6, 0, 4)};
+      ic::LocalArray<double> surface(mine);
+      auto importer = ic::Importer::partitioned(
+          cfg, ic::make_local_field("pressure", &surface), mine,
+          ic::MatchPolicy::LowerBound);
+
+      // The structure advances with a time step 2.5x the fluid's: it asks
+      // for fluid states at t = 2.5, 5.0, 7.5 and gets the latest export
+      // not newer than each.
+      for (double t : {2.5, 5.0, 7.5}) {
+        const auto matched =
+            importer.do_import(static_cast<std::int64_t>(t * 2) / 2);
+        long mismatches = 0;
+        surface.for_each_owned([&](const Point& p, const double& v) {
+          if (v != pressure(p, static_cast<int>(matched))) ++mismatches;
+        });
+        std::printf("[structure] wanted t<=%.1f, matched fluid step %lld "
+                    "(%ld mismatches)\n",
+                    t, static_cast<long long>(matched), mismatches);
+        if (mismatches != 0)
+          throw std::runtime_error("imported surface is inconsistent");
+      }
+      importer.close();
+    }
+  });
+
+  std::printf("fluid_structure: timestamp-coordinated coupling with "
+              "partitioned descriptors completed\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: couple two parallel programs with different distributions of
+// one 2-D array through the CCA M×N component (paper §4.1, Figure 3).
+//
+// Program A (3 processes) owns `field` in row-block layout; program B
+// (2 processes) wants it column-cyclic. Paired MxN component instances
+// exchange descriptors, compute the communication schedule once, and move
+// the data with independent point-to-point transfers — no barriers.
+
+#include <cstdio>
+
+#include "core/mxn_component.hpp"
+#include "rt/runtime.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Point;
+
+int main() {
+  constexpr int kM = 3;  // program A processes
+  constexpr int kN = 2;  // program B processes
+  constexpr dad::Index kRows = 12, kCols = 8;
+
+  // Program A: rows split in blocks over 3 ranks.
+  auto a_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(kRows, kM), AxisDist::collapsed(kCols)});
+  // Program B: columns dealt cyclically over 2 ranks.
+  auto b_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(kRows), AxisDist::cyclic(kCols, kN)});
+
+  rt::spawn(kM + kN, [&](rt::Communicator& world) {
+    const int side = world.rank() < kM ? 0 : 1;
+    auto mxn = core::make_paired_mxn(world, kM, kN);
+    auto cohort = world.split(side, world.rank());
+
+    dad::DistArray<double> field(side == 0 ? a_desc : b_desc, cohort.rank());
+    if (side == 0)
+      field.fill([](const Point& p) { return 100.0 * p[0] + p[1]; });
+
+    mxn->register_field(core::make_field(
+        "field", &field,
+        side == 0 ? core::AccessMode::Read : core::AccessMode::Write));
+
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "field";
+    spec.src_side = 0;
+    spec.one_shot = true;
+    const auto id = mxn->establish(spec);
+
+    mxn->data_ready("field");  // A exports, B imports — pairwise, no barrier
+
+    if (side == 1) {
+      // Verify and report.
+      long errors = 0;
+      field.for_each_owned([&](const Point& p, const double& v) {
+        if (v != 100.0 * p[0] + p[1]) ++errors;
+      });
+      const auto st = mxn->stats(id);
+      std::printf(
+          "[B rank %d] received %llu elements (%llu bytes) in %llu "
+          "transfer(s); %ld mismatches\n",
+          cohort.rank(), static_cast<unsigned long long>(st.elements),
+          static_cast<unsigned long long>(st.bytes),
+          static_cast<unsigned long long>(st.transfers), errors);
+      if (errors != 0) throw std::runtime_error("verification failed");
+    }
+  });
+
+  std::printf("quickstart: %d x %d redistribution complete — %lld elements "
+              "moved from a %dx1 row-block grid to a 1x%d column-cyclic "
+              "grid\n",
+              kM, kN, static_cast<long long>(kRows * kCols), kM, kN);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// §6 outlook, realized: "dynamically inserting data from large sensor
+// arrays into a running computation (such as weather modeling) ... will
+// mean connecting non-computational components with computational ones."
+//
+// A serial "sensor gateway" component (N = 1) streams irregular station
+// observations into a 4-process weather model over two M×N mechanisms:
+//  - station observations as PARTICLES (the §4.1 particle container):
+//    each observation migrates to whichever model rank owns its grid cell;
+//  - a quality-controlled gridded correction field over a persistent M×N
+//    channel, unit-converted through a fused filter pipeline on arrival.
+
+#include <cstdio>
+#include <random>
+
+#include "core/mxn_component.hpp"
+#include "core/particle_set.hpp"
+#include "core/pipeline.hpp"
+#include "rt/runtime.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+namespace sched = mxn::sched;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+constexpr int kModelProcs = 4;
+constexpr Index kGrid = 16;  // 16x16 cells
+constexpr int kFrames = 3;
+
+struct Observation {
+  double x = 0, y = 0;   // position in grid coordinates
+  double value = 0;      // measured temperature, Kelvin
+  int station = 0;
+};
+
+Point cell_of(const Observation& o) {
+  return Point{static_cast<Index>(o.x), static_cast<Index>(o.y)};
+}
+
+}  // namespace
+
+int main() {
+  // Model: 2x2 block decomposition. Gateway: everything in one cell-less
+  // "collapsed" rank.
+  auto model_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(kGrid, 2), AxisDist::block(kGrid, 2)});
+  auto gateway_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(kGrid), AxisDist::collapsed(kGrid)});
+
+  rt::spawn(kModelProcs + 1, [&](rt::Communicator& world) {
+    const int side = world.rank() < kModelProcs ? 0 : 1;  // 0 = model
+    auto mxn = core::make_paired_mxn(world, kModelProcs, 1);
+    auto cohort = world.split(side, world.rank());
+
+    // Gridded correction field over a persistent channel.
+    dad::DistArray<double> correction(side == 0 ? model_desc : gateway_desc,
+                                      cohort.rank());
+    mxn->register_field(core::make_field(
+        "correction", &correction,
+        side == 0 ? core::AccessMode::Write : core::AccessMode::Read));
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "correction";
+    spec.src_side = 1;  // the gateway exports
+    spec.one_shot = false;
+    mxn->establish(spec);
+
+    // Observation particles ride the particle container.
+    sched::Coupling pc;
+    pc.channel = world;
+    pc.src_ranks = {kModelProcs};  // gateway is the particle source
+    pc.dst_ranks.resize(kModelProcs);
+    for (int i = 0; i < kModelProcs; ++i) pc.dst_ranks[i] = i;
+
+    if (side == 1) {
+      // The sensor gateway: synthesize stations, push frames.
+      std::mt19937 rng(7);
+      std::uniform_real_distribution<double> coord(0.0, double(kGrid));
+      core::ParticleSet<Observation> outbox(gateway_desc, 0);
+      for (int frame = 0; frame < kFrames; ++frame) {
+        correction.fill([&](const Point& p) {
+          return 273.15 + 0.1 * frame + 0.01 * (p[0] + p[1]);
+        });
+        mxn->data_ready("correction");
+        for (int s = 0; s < 40; ++s)
+          outbox.particles().push_back(
+              {coord(rng), coord(rng), 250.0 + s % 30, frame * 100 + s});
+        core::ParticleSet<Observation>::transfer(&outbox, nullptr, pc,
+                                                 cell_of, 700);
+        std::printf("[gateway] frame %d: pushed correction grid + 40 "
+                    "observations\n",
+                    frame);
+      }
+    } else {
+      // The weather model: assimilate frames.
+      core::Pipeline qc;
+      qc.add(core::kelvin_to_fahrenheit_stage())
+          .add(core::clamp_stage(-80.0, 140.0));
+      auto fused = qc.fuse();
+      core::ParticleSet<Observation> inbox(model_desc, cohort.rank());
+      for (int frame = 0; frame < kFrames; ++frame) {
+        mxn->data_ready("correction");
+        fused.apply(correction.local());
+        core::ParticleSet<Observation>::transfer(nullptr, &inbox, pc,
+                                                 cell_of, 700);
+        int local_obs = static_cast<int>(inbox.particles().size());
+        for (const auto& o : inbox.particles()) {
+          if (model_desc->owner(cell_of(o)) != cohort.rank())
+            throw std::runtime_error("observation landed on wrong rank");
+        }
+        const int total = cohort.allreduce(
+            local_obs, [](int a, int b) { return a + b; });
+        if (cohort.rank() == 0)
+          std::printf("[model] frame %d: %d observations assimilated, "
+                      "correction[0]=%.2f F\n",
+                      frame, total, correction.local()[0]);
+        inbox.particles().clear();
+      }
+    }
+  });
+
+  std::printf("sensor_ingest: non-computational sensor component streamed "
+              "%d frames into a running %d-process model\n",
+              kFrames, kModelProcs);
+  return 0;
+}

@@ -1,0 +1,238 @@
+#include "capi/mxn_c.h"
+
+#include <cstring>
+#include <string>
+
+#include "core/mxn_component.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+
+thread_local std::string g_last_error = "";
+
+void set_error(const std::string& what) { g_last_error = what; }
+
+/// Run `body`, trapping exceptions into the thread-local error string.
+template <class Fn>
+int guarded(Fn&& body) {
+  try {
+    body();
+    return 0;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return 1;
+  } catch (...) {
+    set_error("unknown error");
+    return 1;
+  }
+}
+
+}  // namespace
+
+// Handle definitions: thin owning wrappers around the C++ objects.
+struct mxn_comm_s {
+  rt::Communicator comm;
+};
+struct mxn_dad_s {
+  dad::DescriptorPtr desc;
+};
+struct mxn_array_s {
+  std::unique_ptr<dad::DistArray<double>> array;
+};
+struct mxn_pair_s {
+  std::shared_ptr<core::MxNComponent> comp;
+  std::map<int, core::ConnectionId> conns;  // C id -> C++ id
+  int next_id = 0;
+};
+
+extern "C" {
+
+const char* mxn_last_error(void) { return g_last_error.c_str(); }
+
+int mxn_spawn(int nprocs, mxn_main_fn fn, void* user) {
+  if (!fn) {
+    set_error("mxn_spawn: fn must not be NULL");
+    return 1;
+  }
+  return guarded([&] {
+    rt::spawn(nprocs, [&](rt::Communicator& comm) {
+      mxn_comm_s handle{comm};
+      fn(&handle, user);
+    });
+  });
+}
+
+int mxn_comm_rank(mxn_comm comm) { return comm ? comm->comm.rank() : -1; }
+int mxn_comm_size(mxn_comm comm) { return comm ? comm->comm.size() : -1; }
+
+int mxn_comm_barrier(mxn_comm comm) {
+  if (!comm) {
+    set_error("null communicator");
+    return 1;
+  }
+  return guarded([&] { comm->comm.barrier(); });
+}
+
+mxn_dad mxn_dad_regular(int naxes, const int* kinds, const int64_t* extents,
+                        const int* nprocs, const int64_t* blocks) {
+  mxn_dad out = nullptr;
+  const int rc = guarded([&] {
+    if (naxes < 1 || !kinds || !extents || !nprocs)
+      throw rt::UsageError("mxn_dad_regular: bad arguments");
+    std::vector<dad::AxisDist> axes;
+    axes.reserve(naxes);
+    for (int a = 0; a < naxes; ++a) {
+      switch (kinds[a]) {
+        case MXN_AXIS_COLLAPSED:
+          axes.push_back(dad::AxisDist::collapsed(extents[a]));
+          break;
+        case MXN_AXIS_BLOCK:
+          axes.push_back(dad::AxisDist::block(extents[a], nprocs[a]));
+          break;
+        case MXN_AXIS_CYCLIC:
+          axes.push_back(dad::AxisDist::cyclic(extents[a], nprocs[a]));
+          break;
+        case MXN_AXIS_BLOCK_CYCLIC:
+          if (!blocks)
+            throw rt::UsageError("block-cyclic axis needs a block size");
+          axes.push_back(
+              dad::AxisDist::block_cyclic(extents[a], nprocs[a], blocks[a]));
+          break;
+        default:
+          throw rt::UsageError("unknown axis kind");
+      }
+    }
+    out = new mxn_dad_s{dad::make_regular(std::move(axes))};
+  });
+  return rc == 0 ? out : nullptr;
+}
+
+void mxn_dad_destroy(mxn_dad d) { delete d; }
+
+int mxn_dad_nranks(mxn_dad d) { return d ? d->desc->nranks() : -1; }
+
+int64_t mxn_dad_local_volume(mxn_dad d, int rank) {
+  if (!d) return -1;
+  int64_t v = -1;
+  guarded([&] { v = d->desc->local_volume(rank); });
+  return v;
+}
+
+mxn_array mxn_array_create(mxn_dad d, int rank) {
+  if (!d) {
+    set_error("null descriptor");
+    return nullptr;
+  }
+  mxn_array out = nullptr;
+  const int rc = guarded([&] {
+    out = new mxn_array_s{
+        std::make_unique<dad::DistArray<double>>(d->desc, rank)};
+  });
+  return rc == 0 ? out : nullptr;
+}
+
+void mxn_array_destroy(mxn_array a) { delete a; }
+
+double* mxn_array_local(mxn_array a, int64_t* length) {
+  if (!a) return nullptr;
+  auto span = a->array->local();
+  if (length) *length = static_cast<int64_t>(span.size());
+  return span.data();
+}
+
+int mxn_array_global_coords(mxn_array a, int64_t offset, int64_t* coords) {
+  if (!a || !coords) {
+    set_error("null argument");
+    return 1;
+  }
+  return guarded([&] {
+    const auto& desc = a->array->descriptor();
+    const auto p = desc.local_to_global(a->array->rank(), offset);
+    for (int d = 0; d < desc.ndim(); ++d) coords[d] = p[d];
+  });
+}
+
+mxn_pair mxn_pair_create(mxn_comm world, int m, int n) {
+  if (!world) {
+    set_error("null communicator");
+    return nullptr;
+  }
+  mxn_pair out = nullptr;
+  const int rc = guarded([&] {
+    out = new mxn_pair_s{core::make_paired_mxn(world->comm, m, n), {}, 0};
+  });
+  return rc == 0 ? out : nullptr;
+}
+
+void mxn_pair_destroy(mxn_pair p) { delete p; }
+
+int mxn_pair_side(mxn_pair p) { return p ? p->comp->side() : -1; }
+
+int mxn_pair_register(mxn_pair p, const char* name, mxn_array a,
+                      int access_mode) {
+  if (!p || !name || !a) {
+    set_error("null argument");
+    return 1;
+  }
+  return guarded([&] {
+    const auto mode = access_mode == MXN_READ
+                          ? core::AccessMode::Read
+                          : access_mode == MXN_WRITE
+                                ? core::AccessMode::Write
+                                : core::AccessMode::ReadWrite;
+    p->comp->register_field(core::make_field(name, a->array.get(), mode));
+  });
+}
+
+int mxn_pair_establish(mxn_pair p, const char* field, int src_side,
+                       int one_shot, int period) {
+  if (!p || !field) {
+    set_error("null argument");
+    return -1;
+  }
+  int cid = -1;
+  const int rc = guarded([&] {
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = field;
+    spec.src_side = src_side;
+    spec.one_shot = one_shot != 0;
+    spec.period = period > 0 ? period : 1;
+    const auto id = p->comp->establish(spec);
+    cid = p->next_id++;
+    p->conns[cid] = id;
+  });
+  return rc == 0 ? cid : -1;
+}
+
+int mxn_pair_data_ready(mxn_pair p, const char* field) {
+  if (!p || !field) {
+    set_error("null argument");
+    return -1;
+  }
+  int moved = -1;
+  const int rc = guarded([&] { moved = p->comp->data_ready(field); });
+  return rc == 0 ? moved : -1;
+}
+
+int mxn_pair_stats(mxn_pair p, int connection, uint64_t* transfers,
+                   uint64_t* elements, uint64_t* bytes) {
+  if (!p) {
+    set_error("null handle");
+    return 1;
+  }
+  return guarded([&] {
+    auto it = p->conns.find(connection);
+    if (it == p->conns.end())
+      throw rt::UsageError("unknown connection id");
+    const auto st = p->comp->stats(it->second);
+    if (transfers) *transfers = st.transfers;
+    if (elements) *elements = st.elements;
+    if (bytes) *bytes = st.bytes;
+  });
+}
+
+}  // extern "C"

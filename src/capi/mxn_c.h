@@ -1,0 +1,109 @@
+/* C binding for the ccamxn M×N machinery — the language-interoperability
+ * role Babel plays for the CCA (paper §2.1 / Figure 4: "Some CCA frameworks
+ * use Babel for language interoperability, which provides SIDL bindings for
+ * C, C++ and FORTRAN"). This header is plain C89-compatible: opaque
+ * handles, int status codes (0 = success), and a per-thread error string.
+ *
+ * Scope: enough surface for a C (or Fortran-via-ISO_C_BINDING) program to
+ * spawn a cooperating process set, describe distributed arrays with DADs,
+ * and couple two programs through paired M×N components.
+ */
+#ifndef MXN_C_H
+#define MXN_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct mxn_comm_s* mxn_comm;     /* communicator (borrowed in fn) */
+typedef struct mxn_dad_s* mxn_dad;       /* distributed array descriptor  */
+typedef struct mxn_array_s* mxn_array;   /* double-typed DistArray        */
+typedef struct mxn_pair_s* mxn_pair;     /* paired M×N component instance */
+
+/* Per-axis distribution kinds. */
+enum {
+  MXN_AXIS_COLLAPSED = 0,
+  MXN_AXIS_BLOCK = 1,
+  MXN_AXIS_CYCLIC = 2,
+  MXN_AXIS_BLOCK_CYCLIC = 3
+};
+
+/* Field access modes. */
+enum { MXN_READ = 0, MXN_WRITE = 1, MXN_READWRITE = 2 };
+
+/* Last error message for the calling thread (valid until the next failing
+ * call on that thread). Never NULL. */
+const char* mxn_last_error(void);
+
+/* --- process spawning ---------------------------------------------------- */
+
+typedef void (*mxn_main_fn)(mxn_comm comm, void* user);
+
+/* Run `fn` on nprocs cooperating processes; blocks until all return.
+ * Returns nonzero if any process failed (see mxn_last_error). */
+int mxn_spawn(int nprocs, mxn_main_fn fn, void* user);
+
+int mxn_comm_rank(mxn_comm comm);
+int mxn_comm_size(mxn_comm comm);
+/* Barrier over the communicator; returns 0 on success. */
+int mxn_comm_barrier(mxn_comm comm);
+
+/* --- distributed array descriptors ---------------------------------------- */
+
+/* Regular DAD: naxes axes, per-axis kind/extent/nprocs (+block size for
+ * MXN_AXIS_BLOCK_CYCLIC; ignored otherwise). NULL on failure. */
+mxn_dad mxn_dad_regular(int naxes, const int* kinds, const int64_t* extents,
+                        const int* nprocs, const int64_t* blocks);
+void mxn_dad_destroy(mxn_dad dad);
+int mxn_dad_nranks(mxn_dad dad);
+int64_t mxn_dad_local_volume(mxn_dad dad, int rank);
+
+/* --- distributed arrays (double) ------------------------------------------ */
+
+mxn_array mxn_array_create(mxn_dad dad, int rank);
+void mxn_array_destroy(mxn_array array);
+/* Pointer to and length of this rank's local storage. */
+double* mxn_array_local(mxn_array array, int64_t* length);
+/* Global coordinates of local element `offset` (coords has the DAD's
+ * dimensionality). Returns 0 on success. */
+int mxn_array_global_coords(mxn_array array, int64_t offset,
+                            int64_t* coords);
+
+/* --- paired M×N components ------------------------------------------------ */
+
+/* Create this process's instance of a paired M×N component over `world`:
+ * side 0 = world ranks [0, m), side 1 = [m, m+n). NULL on failure. */
+mxn_pair mxn_pair_create(mxn_comm world, int m, int n);
+void mxn_pair_destroy(mxn_pair pair);
+
+/* Which side this process is on (0 or 1). */
+int mxn_pair_side(mxn_pair pair);
+
+/* Register a named field backed by `array` (cohort-collective). */
+int mxn_pair_register(mxn_pair pair, const char* name, mxn_array array,
+                      int access_mode);
+
+/* Establish a connection (collective on BOTH sides). src_side exports the
+ * field; one_shot != 0 retires the connection after one transfer; period
+ * is the source-side dataReady cadence for persistent connections.
+ * Returns a connection id >= 0, or -1 on failure. */
+int mxn_pair_establish(mxn_pair pair, const char* field, int src_side,
+                       int one_shot, int period);
+
+/* Declare the local portion of `field` consistent; source instances export,
+ * destination instances import. Returns the number of connections that
+ * moved data, or -1 on failure. */
+int mxn_pair_data_ready(mxn_pair pair, const char* field);
+
+/* Cumulative transfer counters for a connection. Returns 0 on success. */
+int mxn_pair_stats(mxn_pair pair, int connection, uint64_t* transfers,
+                   uint64_t* elements, uint64_t* bytes);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* MXN_C_H */

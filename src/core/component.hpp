@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "core/port.hpp"
+#include "rt/communicator.hpp"
+
+namespace mxn::core {
+
+/// A component's view of its framework (the CCA Services handle). Obtained
+/// in Component::set_services; used to publish provides ports, declare uses
+/// ports, and fetch connected ports.
+class Services {
+ public:
+  virtual ~Services() = default;
+
+  /// Publish an interface this component implements.
+  virtual void add_provides_port(const std::string& name,
+                                 const std::string& type, PortPtr port) = 0;
+
+  /// Declare a connection end point this component will call through.
+  virtual void register_uses_port(const std::string& name,
+                                  const std::string& type) = 0;
+
+  /// Resolve a connected uses port. Throws if the port is not connected.
+  virtual PortPtr get_port(const std::string& uses_name) = 0;
+
+  /// Typed convenience over get_port.
+  template <class P>
+  std::shared_ptr<P> get_port_as(const std::string& uses_name) {
+    auto p = std::dynamic_pointer_cast<P>(get_port(uses_name));
+    if (!p)
+      throw rt::UsageError("port '" + uses_name +
+                           "' is connected to an incompatible provider");
+    return p;
+  }
+
+  /// The communicator spanning this component's cohort — the set of
+  /// identical component instances across the framework's processes (paper
+  /// §2.1). Intra-cohort communication is out-of-band from the CCA
+  /// framework, exactly as the paper describes.
+  virtual rt::Communicator cohort() = 0;
+
+  /// Name under which the component was instantiated.
+  virtual const std::string& instance_name() const = 0;
+};
+
+/// A CCA component: a software unit instantiated on one process or, as a
+/// cohort, across the processes of a parallel framework.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Called by the framework right after instantiation; the component
+  /// registers its uses/provides ports here.
+  virtual void set_services(Services& services) = 0;
+};
+
+}  // namespace mxn::core

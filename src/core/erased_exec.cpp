@@ -1,0 +1,53 @@
+#include "core/erased_exec.hpp"
+
+namespace mxn::core {
+
+using rt::UsageError;
+
+MovedCounts execute_erased(const sched::RegionSchedule& s,
+                           const FieldRegistration* src,
+                           const FieldRegistration* dst,
+                           const sched::Coupling& c, int tag) {
+  MovedCounts moved;
+  rt::Communicator channel = c.channel;
+  if (!s.sends.empty()) {
+    if (!src) throw UsageError("schedule has sends but no source field");
+    if (!src->extract)
+      throw UsageError("field '" + src->name +
+                       "' is not readable (access mode)");
+  }
+  if (!s.recvs.empty()) {
+    if (!dst) throw UsageError("schedule has recvs but no destination field");
+    if (!dst->inject)
+      throw UsageError("field '" + dst->name +
+                       "' is not writable (access mode)");
+  }
+  for (const auto& pr : s.sends) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(pr.elements) *
+                               src->elem_size);
+    std::size_t off = 0;
+    for (const auto& region : pr.regions) {
+      src->extract(region, buf.data() + off);
+      off += static_cast<std::size_t>(region.volume()) * src->elem_size;
+    }
+    moved.elements += static_cast<std::uint64_t>(pr.elements);
+    moved.bytes += buf.size();
+    channel.send(c.dst_ranks.at(pr.peer), tag, std::move(buf));
+  }
+  for (const auto& pr : s.recvs) {
+    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag);
+    if (msg.payload.size() !=
+        static_cast<std::size_t>(pr.elements) * dst->elem_size)
+      throw UsageError("erased transfer payload size mismatch");
+    std::size_t off = 0;
+    for (const auto& region : pr.regions) {
+      dst->inject(region, msg.payload.data() + off);
+      off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
+    }
+    moved.elements += static_cast<std::uint64_t>(pr.elements);
+    moved.bytes += msg.payload.size();
+  }
+  return moved;
+}
+
+}  // namespace mxn::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/field.hpp"
+#include "sched/coupling.hpp"
+#include "sched/schedule.hpp"
+
+namespace mxn::core {
+
+/// Traffic moved by one erased transfer (local view).
+struct MovedCounts {
+  std::uint64_t elements = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Byte-level twin of sched::execute: performs this process's share of a
+/// region schedule through the type-erased pack/unpack closures of field
+/// registrations. `src` may be null when this process has no sends, `dst`
+/// null when it has no receives.
+MovedCounts execute_erased(const sched::RegionSchedule& s,
+                           const FieldRegistration* src,
+                           const FieldRegistration* dst,
+                           const sched::Coupling& c, int tag);
+
+}  // namespace mxn::core

@@ -1,0 +1,159 @@
+#include "core/framework.hpp"
+
+namespace mxn::core {
+
+using rt::UsageError;
+
+namespace {
+
+struct ProvidesEntry {
+  std::string type;
+  PortPtr port;
+};
+
+struct UsesEntry {
+  std::string type;
+  PortPtr connected;  // null until connected
+};
+
+}  // namespace
+
+class ServicesImpl final : public Services {
+ public:
+  ServicesImpl(Framework* fw, std::string name, rt::Communicator cohort)
+      : fw_(fw), name_(std::move(name)), cohort_(std::move(cohort)) {}
+
+  void add_provides_port(const std::string& name, const std::string& type,
+                         PortPtr port) override {
+    if (!port) throw UsageError("provides port must not be null");
+    if (provides_.count(name))
+      throw UsageError("component '" + name_ +
+                       "' already provides port '" + name + "'");
+    provides_[name] = {type, std::move(port)};
+  }
+
+  void register_uses_port(const std::string& name,
+                          const std::string& type) override {
+    if (uses_.count(name))
+      throw UsageError("component '" + name_ + "' already uses port '" +
+                       name + "'");
+    uses_[name] = {type, nullptr};
+  }
+
+  PortPtr get_port(const std::string& uses_name) override {
+    auto it = uses_.find(uses_name);
+    if (it == uses_.end())
+      throw UsageError("component '" + name_ + "' has no uses port '" +
+                       uses_name + "'");
+    if (!it->second.connected)
+      throw UsageError("uses port '" + uses_name + "' of '" + name_ +
+                       "' is not connected");
+    return it->second.connected;
+  }
+
+  rt::Communicator cohort() override { return cohort_; }
+
+  const std::string& instance_name() const override { return name_; }
+
+  std::map<std::string, ProvidesEntry> provides_;
+  std::map<std::string, UsesEntry> uses_;
+
+ private:
+  [[maybe_unused]] Framework* fw_;
+  std::string name_;
+  rt::Communicator cohort_;
+};
+
+struct Framework::Instance {
+  std::shared_ptr<Component> comp;
+  std::unique_ptr<ServicesImpl> services;
+};
+
+Framework::Framework(rt::Communicator comm) : comm_(std::move(comm)) {}
+
+Framework::~Framework() = default;
+
+Framework::Instance& Framework::find(const std::string& name) {
+  auto it = instances_.find(name);
+  if (it == instances_.end())
+    throw UsageError("no component instance named '" + name + "'");
+  return *it->second;
+}
+
+void Framework::instantiate(const std::string& name,
+                            std::shared_ptr<Component> comp) {
+  if (!comp) throw UsageError("component must not be null");
+  if (instances_.count(name))
+    throw UsageError("component instance '" + name + "' already exists");
+  auto inst = std::make_unique<Instance>();
+  inst->comp = std::move(comp);
+  inst->services = std::make_unique<ServicesImpl>(this, name, comm_.dup());
+  inst->comp->set_services(*inst->services);
+  instances_[name] = std::move(inst);
+  order_.push_back(name);
+}
+
+void Framework::connect(const std::string& user, const std::string& uses_port,
+                        const std::string& provider,
+                        const std::string& provides_port) {
+  auto& u = find(user);
+  auto& p = find(provider);
+  auto uit = u.services->uses_.find(uses_port);
+  if (uit == u.services->uses_.end())
+    throw UsageError("'" + user + "' has no uses port '" + uses_port + "'");
+  auto pit = p.services->provides_.find(provides_port);
+  if (pit == p.services->provides_.end())
+    throw UsageError("'" + provider + "' has no provides port '" +
+                     provides_port + "'");
+  if (uit->second.type != pit->second.type)
+    throw UsageError("port type mismatch connecting '" + user + "." +
+                     uses_port + "' (" + uit->second.type + ") to '" +
+                     provider + "." + provides_port + "' (" +
+                     pit->second.type + ")");
+  if (uit->second.connected)
+    throw UsageError("uses port '" + user + "." + uses_port +
+                     "' is already connected");
+  uit->second.connected = pit->second.port;
+}
+
+void Framework::disconnect(const std::string& user,
+                           const std::string& uses_port) {
+  auto& u = find(user);
+  auto uit = u.services->uses_.find(uses_port);
+  if (uit == u.services->uses_.end() || !uit->second.connected)
+    throw UsageError("'" + user + "." + uses_port + "' is not connected");
+  uit->second.connected = nullptr;
+}
+
+int Framework::go(const std::string& name) {
+  auto& inst = find(name);
+  for (auto& [pname, entry] : inst.services->provides_) {
+    if (auto g = std::dynamic_pointer_cast<GoPort>(entry.port))
+      return g->go();
+  }
+  throw UsageError("component '" + name + "' provides no Go port");
+}
+
+int Framework::go_all() {
+  int status = 0;
+  for (const auto& name : order_) {
+    auto& inst = find(name);
+    for (auto& [pname, entry] : inst.services->provides_) {
+      if (auto g = std::dynamic_pointer_cast<GoPort>(entry.port)) {
+        const int s = g->go();
+        if (s != 0 && status == 0) status = s;
+      }
+    }
+  }
+  return status;
+}
+
+std::shared_ptr<Component> Framework::component(
+    const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end())
+    throw UsageError("no component instance named '" + name + "'");
+  return it->second->comp;
+}
+
+}  // namespace mxn::core

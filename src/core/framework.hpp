@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "rt/communicator.hpp"
+#include "rt/error.hpp"
+
+namespace mxn::core {
+
+/// A direct-connected CCA framework instance (paper §2.1, Figure 2 left):
+/// every component instantiated here lives in this process's address space,
+/// and a port invocation is a refined form of library call. Run SPMD across
+/// the processes of `comm`, the identical component instances form cohorts;
+/// each component's Services::cohort() is a dup of the framework
+/// communicator.
+///
+/// All framework operations (instantiate, connect, go) are cohort-collective
+/// in the SPMD sense: every process executes the same calls in the same
+/// order, just as an MPI program would.
+class Framework {
+ public:
+  explicit Framework(rt::Communicator comm);
+  ~Framework();
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  /// Instantiate a component under `name` and call its set_services.
+  void instantiate(const std::string& name, std::shared_ptr<Component> comp);
+
+  /// Connect user's uses port to provider's provides port. The declared
+  /// type strings must match.
+  void connect(const std::string& user, const std::string& uses_port,
+               const std::string& provider, const std::string& provides_port);
+
+  void disconnect(const std::string& user, const std::string& uses_port);
+
+  /// Invoke the GoPort of the named component.
+  int go(const std::string& name);
+
+  /// Invoke every registered Go port (startup semantics of §4.3); returns
+  /// the first nonzero status, else 0.
+  int go_all();
+
+  [[nodiscard]] rt::Communicator comm() const { return comm_; }
+
+  [[nodiscard]] std::shared_ptr<Component> component(
+      const std::string& name) const;
+
+ private:
+  friend class ServicesImpl;
+  struct Instance;
+
+  Instance& find(const std::string& name);
+
+  rt::Communicator comm_;
+  std::map<std::string, std::unique_ptr<Instance>> instances_;
+  std::vector<std::string> order_;  // instantiation order, for go_all
+};
+
+}  // namespace mxn::core

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/component.hpp"
+#include "core/field.hpp"
+#include "sched/cache.hpp"
+#include "sched/coupling.hpp"
+
+namespace mxn::core {
+
+using ConnectionId = int;
+
+/// How a coupling moves data (paper §4.1, unifying the PAWS and CUMULVS
+/// connection models under one interface):
+///  - one_shot == true: a single transfer (PAWS send/receive pairing); the
+///    connection retires after it completes.
+///  - persistent: recurs automatically — the source's every `period`-th
+///    dataReady() initiates a transfer (CUMULVS periodic channels).
+///  - handshake: "tight" synchronization option — the source's dataReady
+///    blocks until every destination peer acknowledges receipt, bounding
+///    the skew between producer and consumer. Without it the source runs
+///    ahead freely (loose synchronization; sends are buffered).
+struct ConnectionSpec {
+  std::string src_field;
+  std::string dst_field;
+  int src_side = 0;  // which side of the pair exports (0 or 1)
+  bool one_shot = true;
+  int period = 1;
+  bool handshake = false;
+
+  void pack(rt::PackBuffer& b) const;
+  static ConnectionSpec unpack(rt::UnpackBuffer& u);
+};
+
+/// Cumulative per-connection counters.
+struct TransferStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The provides-port interface of the M×N component (paper §4.1). Paired
+/// instances are co-located with the two coupled parallel programs; the pair
+/// communicates over an internal channel that is out-of-band as far as the
+/// CCA specification is concerned (Figure 3).
+class MxNService : public Port {
+ public:
+  /// Register a parallel data field by its DAD handle and local memory.
+  /// Cohort-collective.
+  virtual void register_field(const FieldRegistration& field) = 0;
+
+  virtual void unregister_field(const std::string& name) = 0;
+
+  /// Establish a connection. Cohort-collective on BOTH sides of the pair
+  /// (both programs call establish with an equivalent spec); descriptors
+  /// are exchanged over the channel and the communication schedule is
+  /// computed (and cached) locally.
+  virtual ConnectionId establish(const ConnectionSpec& spec) = 0;
+
+  /// Propose a connection to the peer side without its prior agreement: the
+  /// spec travels over the channel and the peer picks it up in
+  /// accept_proposal(). Lets one side — or a third-party controller driving
+  /// one side — initiate coupling, so legacy codes need no coupling logic
+  /// (paper §4.1: "neither side of an M×N connection need be fully aware...
+  /// of the nature of any such connections"). Cohort-collective on the
+  /// calling side; returns the local connection id.
+  virtual ConnectionId propose(const ConnectionSpec& spec) = 0;
+
+  /// Receive a proposed spec from the channel and establish it locally.
+  /// Cohort-collective; blocks until a proposal arrives.
+  virtual ConnectionId accept_proposal() = 0;
+
+  /// Declare this instance's local portion of `field` consistent and ready
+  /// (paper §4.1). Source instances initiate their pairwise sends for every
+  /// due connection on the field; destination instances complete their
+  /// pairwise receives. No synchronization barrier is involved on either
+  /// side. Returns the number of connections that moved data.
+  virtual int data_ready(const std::string& field) = 0;
+
+  /// Retire a connection locally.
+  virtual void disconnect(ConnectionId id) = 0;
+
+  [[nodiscard]] virtual TransferStats stats(ConnectionId id) const = 0;
+  [[nodiscard]] virtual bool active(ConnectionId id) const = 0;
+
+  /// Serialize this rank's local contents of every registered readable
+  /// field — the checkpointing half of CUMULVS's fault-tolerance role
+  /// ("CUMULVS: Providing fault tolerance, visualization and steering of
+  /// parallel applications", paper ref [14]). The blob is per-rank; a
+  /// restarted cohort re-registers its fields (same names, same
+  /// decomposition) and calls restore_fields.
+  [[nodiscard]] virtual std::vector<std::byte> checkpoint_fields() const = 0;
+
+  /// Inverse of checkpoint_fields. Fields present in the blob but not
+  /// currently registered (or with mismatched sizes) raise UsageError.
+  virtual void restore_fields(std::span<const std::byte> blob) = 0;
+};
+
+/// Concrete M×N component. Instantiate one per process on each side of a
+/// coupling; `side` is 0 or 1, `channel` spans both programs, and
+/// `side_ranks[s]` lists the channel ranks of side s (index == cohort rank).
+class MxNComponent final : public Component, public MxNService {
+ public:
+  MxNComponent(rt::Communicator channel, rt::Communicator cohort, int side,
+               std::vector<int> side0_ranks, std::vector<int> side1_ranks);
+
+  // Component
+  void set_services(Services& services) override;
+
+  // MxNService
+  void register_field(const FieldRegistration& field) override;
+  void unregister_field(const std::string& name) override;
+  ConnectionId establish(const ConnectionSpec& spec) override;
+  ConnectionId propose(const ConnectionSpec& spec) override;
+  ConnectionId accept_proposal() override;
+  int data_ready(const std::string& field) override;
+  void disconnect(ConnectionId id) override;
+  [[nodiscard]] TransferStats stats(ConnectionId id) const override;
+  [[nodiscard]] bool active(ConnectionId id) const override;
+  [[nodiscard]] std::vector<std::byte> checkpoint_fields() const override;
+  void restore_fields(std::span<const std::byte> blob) override;
+
+  [[nodiscard]] int side() const { return side_; }
+
+ private:
+  struct Connection;
+
+  const FieldRegistration& field(const std::string& name) const;
+  ConnectionId establish_impl(const ConnectionSpec& spec);
+  void run_transfer(Connection& c);
+
+  rt::Communicator channel_;
+  rt::Communicator cohort_;
+  int side_;
+  std::vector<int> side_ranks_[2];
+
+  std::map<std::string, FieldRegistration> fields_;
+  std::map<ConnectionId, std::unique_ptr<Connection>> connections_;
+  sched::ScheduleCache cache_;
+  int next_id_ = 1;
+  // Pair-wide connection sequence number; advances identically on both
+  // sides because establishment is collective across the pair.
+  int seq_ = 0;
+};
+
+/// Wire a pair of MxN components across one world communicator: side 0 =
+/// world ranks [0, m), side 1 = [m, m+n). Every process gets its own
+/// instance (SPMD). Purely a convenience for tests, examples and benches.
+std::shared_ptr<MxNComponent> make_paired_mxn(rt::Communicator world, int m,
+                                              int n);
+
+}  // namespace mxn::core

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <vector>
+
+#include "dad/descriptor.hpp"
+#include "rt/communicator.hpp"
+#include "sched/coupling.hpp"
+
+namespace mxn::core {
+
+/// The "particle-based container solution" the paper reports as under
+/// development for the M×N component (§4.1): dense-array descriptors cannot
+/// describe particle fields, whose elements move between owners as they
+/// move through space. A ParticleSet owns this rank's particles; ownership
+/// is *derived* from a cell decomposition — a particle belongs to whichever
+/// rank owns its cell under the DAD template — so the same descriptor
+/// machinery that drives array redistribution drives particle migration and
+/// M×N particle transfer.
+///
+/// P must be trivially copyable; `cell_of` maps a particle to its global
+/// cell coordinates.
+template <class P>
+  requires std::is_trivially_copyable_v<P>
+class ParticleSet {
+ public:
+  ParticleSet(dad::DescriptorPtr decomposition, int rank)
+      : desc_(std::move(decomposition)), rank_(rank) {}
+
+  [[nodiscard]] std::vector<P>& particles() { return particles_; }
+  [[nodiscard]] const std::vector<P>& particles() const { return particles_; }
+  [[nodiscard]] const dad::Descriptor& decomposition() const { return *desc_; }
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Number of local particles currently on the wrong rank.
+  template <class CellOf>
+  [[nodiscard]] std::size_t misplaced(CellOf&& cell_of) const {
+    std::size_t n = 0;
+    for (const auto& p : particles_)
+      if (desc_->owner(cell_of(p)) != rank_) ++n;
+    return n;
+  }
+
+  /// Intra-cohort migration: after this collective call every particle
+  /// lives on the rank owning its cell. One alltoall-style exchange.
+  template <class CellOf>
+  void migrate(rt::Communicator cohort, CellOf&& cell_of, int tag) {
+    if (cohort.size() != desc_->nranks())
+      throw rt::UsageError("cohort size does not match the decomposition");
+    const int n = cohort.size();
+    std::vector<std::vector<P>> outgoing(n);
+    std::vector<P> keep;
+    keep.reserve(particles_.size());
+    for (const auto& p : particles_) {
+      const int owner = desc_->owner(cell_of(p));
+      if (owner == rank_)
+        keep.push_back(p);
+      else
+        outgoing[owner].push_back(p);
+    }
+    particles_ = std::move(keep);
+    // Exchange: one message per peer (empty ones included so matching is
+    // trivial), tagged by `tag`.
+    for (int d = 0; d < n; ++d) {
+      if (d == rank_) continue;
+      cohort.send_span<P>(d, tag, std::span<const P>(outgoing[d]));
+    }
+    for (int s = 0; s < n - 1; ++s) {
+      auto incoming = cohort.recv_vector<P>(rt::kAnySource, tag);
+      particles_.insert(particles_.end(), incoming.begin(), incoming.end());
+    }
+  }
+
+  /// M×N transfer: move every particle of the source set to the destination
+  /// cohort rank owning its cell under the DESTINATION decomposition. Both
+  /// cohorts call collectively; `self` is the source set on source ranks
+  /// (may also be a destination in self-couplings) and the receiving set on
+  /// destination ranks. Source particles are consumed.
+  template <class CellOf>
+  static void transfer(ParticleSet* src_set, ParticleSet* dst_set,
+                       const sched::Coupling& c, CellOf&& cell_of, int tag) {
+    rt::Communicator channel = c.channel;
+    // Sources need the DESTINATION decomposition to route particles. When
+    // the sets are co-located (self-coupling) it is at hand; otherwise the
+    // first destination rank publishes it (mirroring the MxN component's
+    // descriptor exchange).
+    dad::DescriptorPtr dst_desc;
+    if (src_set && dst_set) {
+      dst_desc = dst_set->desc_;
+    } else if (dst_set && c.my_dst_rank() == 0) {
+      rt::PackBuffer b;
+      dst_set->desc_->pack(b);
+      const auto bytes = std::move(b).take();
+      for (int s : c.src_ranks) channel.send(s, tag, bytes);
+    }
+    if (src_set && !dst_set) {
+      auto msg = channel.recv(c.dst_ranks.at(0), tag);
+      rt::UnpackBuffer u(msg.payload);
+      dst_desc = std::make_shared<const dad::Descriptor>(
+          dad::Descriptor::unpack(u));
+    }
+
+    if (src_set) {
+      const int nd = static_cast<int>(c.dst_ranks.size());
+      std::vector<std::vector<P>> outgoing(nd);
+      for (const auto& p : src_set->particles_)
+        outgoing[dst_desc->owner(cell_of(p))].push_back(p);
+      src_set->particles_.clear();
+      for (int d = 0; d < nd; ++d)
+        channel.send_span<P>(c.dst_ranks[d], tag + 1,
+                             std::span<const P>(outgoing[d]));
+    }
+    if (dst_set) {
+      for (std::size_t s = 0; s < c.src_ranks.size(); ++s) {
+        auto incoming =
+            channel.recv_vector<P>(rt::kAnySource, tag + 1);
+        dst_set->particles_.insert(dst_set->particles_.end(),
+                                   incoming.begin(), incoming.end());
+      }
+    }
+  }
+
+ private:
+  dad::DescriptorPtr desc_;
+  int rank_;
+  std::vector<P> particles_;
+};
+
+}  // namespace mxn::core

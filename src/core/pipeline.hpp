@@ -1,0 +1,137 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/port.hpp"
+#include "rt/error.hpp"
+
+namespace mxn::core {
+
+/// One data-transformation stage of a coupling pipeline (paper §6): unit
+/// conversions, scalings, clamps — the "concatenated component filters" the
+/// M×N toolkit is meant to host between redistribution endpoints. A stage
+/// transforms this rank's local values in place. Stages that are affine
+/// (x -> a*x + b) say so, which lets the pipeline fuse them.
+struct TransformStage {
+  std::string name;
+  std::function<void(std::span<double>)> apply;
+  /// Present iff the stage is exactly x -> affine[0]*x + affine[1].
+  std::optional<std::pair<double, double>> affine;
+};
+
+inline TransformStage affine_stage(double a, double b,
+                                   std::string name = "") {
+  TransformStage s;
+  s.name = name.empty() ? "affine(" + std::to_string(a) + "," +
+                              std::to_string(b) + ")"
+                        : std::move(name);
+  s.apply = [a, b](std::span<double> v) {
+    for (auto& x : v) x = a * x + b;
+  };
+  s.affine = {{a, b}};
+  return s;
+}
+
+inline TransformStage scale_stage(double factor) {
+  return affine_stage(factor, 0.0, "scale(" + std::to_string(factor) + ")");
+}
+
+inline TransformStage offset_stage(double delta) {
+  return affine_stage(1.0, delta, "offset(" + std::to_string(delta) + ")");
+}
+
+/// Kelvin -> Fahrenheit, as the unit-conversion example of §6.
+inline TransformStage kelvin_to_fahrenheit_stage() {
+  return affine_stage(1.8, -459.67, "K->F");
+}
+
+inline TransformStage clamp_stage(double lo, double hi) {
+  TransformStage s;
+  s.name = "clamp[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  s.apply = [lo, hi](std::span<double> v) {
+    for (auto& x : v) x = std::min(hi, std::max(lo, x));
+  };
+  return s;  // not affine
+}
+
+/// A pipeline of transformation stages applied around a redistribution.
+/// §6 raises exactly this pragmatic issue: "how efficiently redistribution
+/// functions compose with one another ... Super-component solutions could
+/// also be explored ... by combining several successive redistribution and
+/// translation components into a single optimized component."
+///
+/// apply() is the component-per-stage model: each stage makes its own pass
+/// over the data (each filter component traverses its buffer once).
+/// fuse() is the super-component: runs of adjacent affine stages compose
+/// algebraically into a single stage, collapsing k passes into one exact
+/// pass. Non-affine stages (clamp, table lookups) act as fusion barriers.
+class Pipeline {
+ public:
+  Pipeline& add(TransformStage stage) {
+    if (!stage.apply) throw rt::UsageError("pipeline stage must be callable");
+    stages_.push_back(std::move(stage));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return stages_.size(); }
+  [[nodiscard]] const std::vector<TransformStage>& stages() const {
+    return stages_;
+  }
+
+  /// Component-per-stage execution: one pass over the data per stage.
+  void apply(std::span<double> values) const {
+    for (const auto& s : stages_) s.apply(values);
+  }
+
+  /// Super-component optimization: compose adjacent affine stages. The
+  /// returned pipeline is semantically identical with <= as many passes.
+  [[nodiscard]] Pipeline fuse() const {
+    Pipeline out;
+    std::optional<std::pair<double, double>> run;  // (a, b) accumulated
+    std::string run_name;
+    auto flush = [&] {
+      if (!run) return;
+      out.add(affine_stage(run->first, run->second, "fused[" + run_name +
+                                                        "]"));
+      run.reset();
+      run_name.clear();
+    };
+    for (const auto& s : stages_) {
+      if (s.affine) {
+        const auto [a2, b2] = *s.affine;
+        if (run) {
+          // (a2*(a1*x + b1) + b2) = (a2*a1)x + (a2*b1 + b2)
+          run = {{a2 * run->first, a2 * run->second + b2}};
+          run_name += "|" + s.name;
+        } else {
+          run = s.affine;
+          run_name = s.name;
+        }
+      } else {
+        flush();
+        out.add(s);
+      }
+    }
+    flush();
+    return out;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (i) out += " -> ";
+      out += stages_[i].name;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TransformStage> stages_;
+};
+
+}  // namespace mxn::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace mxn::core {
+
+/// Base class of all provides-port interfaces. A provides port is a public
+/// interface a component implements; a uses port is a connection end point
+/// that, once connected, becomes a reference to a provides port of the same
+/// type (paper §2.1, the uses/provides design pattern).
+class Port {
+ public:
+  virtual ~Port() = default;
+};
+
+using PortPtr = std::shared_ptr<Port>;
+
+/// The CCA Go port: recognized by frameworks as the way to start an
+/// application running — the component equivalent of `main` (paper §4.3
+/// footnote 2).
+class GoPort : public Port {
+ public:
+  /// Returns an exit status; 0 = success.
+  virtual int go() = 0;
+};
+
+}  // namespace mxn::core

@@ -1,0 +1,40 @@
+#include "dad/alignment.hpp"
+
+#include "rt/error.hpp"
+
+namespace mxn::dad {
+
+Descriptor align(const Descriptor& tpl, const Point& offset,
+                 const Point& extents) {
+  const int nd = tpl.ndim();
+  Patch window;
+  window.ndim = nd;
+  for (int a = 0; a < nd; ++a) {
+    if (extents[a] <= 0)
+      throw rt::UsageError("aligned array extents must be positive");
+    if (offset[a] < 0 || offset[a] + extents[a] > tpl.extent(a))
+      throw rt::UsageError(
+          "aligned array does not fit inside the template (axis " +
+          std::to_string(a) + ")");
+    window.lo[a] = offset[a];
+    window.hi[a] = offset[a] + extents[a];
+  }
+
+  std::vector<OwnedPatch> patches;
+  for (int r = 0; r < tpl.nranks(); ++r) {
+    for (const auto& p : tpl.patches_of(r)) {
+      if (auto inside = Patch::intersect(p, window)) {
+        Patch translated = *inside;
+        for (int a = 0; a < nd; ++a) {
+          translated.lo[a] -= offset[a];
+          translated.hi[a] -= offset[a];
+        }
+        patches.push_back({translated, r});
+      }
+    }
+  }
+  return Descriptor::explicit_patches(nd, extents, std::move(patches),
+                                      tpl.nranks());
+}
+
+}  // namespace mxn::dad

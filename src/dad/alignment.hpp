@@ -1,0 +1,27 @@
+#pragma once
+
+#include "dad/descriptor.hpp"
+
+namespace mxn::dad {
+
+/// HPF-style alignment of an actual array onto a template (paper §2.2.2:
+/// "Any number of actual arrays can be aligned, or mapped, to a given
+/// template ... The mapping of actual arrays onto templates is also
+/// extremely flexible"). An array of shape `extents` aligned at `offset`
+/// maps its element i to template cell i + offset; the array inherits the
+/// template's distribution restricted to the covered window.
+///
+/// The result is a Descriptor over the array's own index space whose rank
+/// patches are the template's patches intersected with the window and
+/// translated back by -offset — so aligned arrays plug into every schedule
+/// builder, the cache, and the M×N machinery unchanged. Ranks owning no
+/// part of the window simply hold nothing.
+[[nodiscard]] Descriptor align(const Descriptor& tpl, const Point& offset,
+                               const Point& extents);
+
+inline DescriptorPtr make_aligned(const DescriptorPtr& tpl,
+                                  const Point& offset, const Point& extents) {
+  return std::make_shared<const Descriptor>(align(*tpl, offset, extents));
+}
+
+}  // namespace mxn::dad

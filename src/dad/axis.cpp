@@ -1,0 +1,214 @@
+#include "dad/axis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mxn::dad {
+
+using rt::UsageError;
+
+std::string to_string(AxisKind kind) {
+  switch (kind) {
+    case AxisKind::Collapsed: return "collapsed";
+    case AxisKind::BlockCyclic: return "block-cyclic";
+    case AxisKind::GeneralizedBlock: return "generalized-block";
+    case AxisKind::Implicit: return "implicit";
+  }
+  return "?";
+}
+
+AxisDist AxisDist::collapsed(Index extent) {
+  if (extent <= 0) throw UsageError("axis extent must be positive");
+  AxisDist d;
+  d.kind_ = AxisKind::Collapsed;
+  d.extent_ = extent;
+  d.nprocs_ = 1;
+  d.build_intervals();
+  return d;
+}
+
+AxisDist AxisDist::block(Index extent, int nprocs) {
+  const Index b = (extent + nprocs - 1) / nprocs;
+  return block_cyclic(extent, nprocs, b);
+}
+
+AxisDist AxisDist::cyclic(Index extent, int nprocs) {
+  return block_cyclic(extent, nprocs, 1);
+}
+
+AxisDist AxisDist::block_cyclic(Index extent, int nprocs, Index block) {
+  if (extent <= 0) throw UsageError("axis extent must be positive");
+  if (nprocs <= 0) throw UsageError("axis nprocs must be positive");
+  if (block <= 0) throw UsageError("block size must be positive");
+  AxisDist d;
+  d.kind_ = AxisKind::BlockCyclic;
+  d.extent_ = extent;
+  d.nprocs_ = nprocs;
+  d.block_ = block;
+  d.build_intervals();
+  return d;
+}
+
+AxisDist AxisDist::generalized_block(std::vector<Index> sizes) {
+  if (sizes.empty()) throw UsageError("generalized block needs >= 1 size");
+  Index total = 0;
+  for (Index s : sizes) {
+    if (s < 0) throw UsageError("generalized block sizes must be >= 0");
+    total += s;
+  }
+  if (total <= 0) throw UsageError("axis extent must be positive");
+  AxisDist d;
+  d.kind_ = AxisKind::GeneralizedBlock;
+  d.extent_ = total;
+  d.nprocs_ = static_cast<int>(sizes.size());
+  d.gen_sizes_ = std::move(sizes);
+  d.build_intervals();
+  return d;
+}
+
+AxisDist AxisDist::implicit(std::vector<int> owners, int nprocs) {
+  if (owners.empty()) throw UsageError("implicit axis needs >= 1 entry");
+  int maxo = 0;
+  for (int o : owners) {
+    if (o < 0) throw UsageError("implicit owner must be >= 0");
+    maxo = std::max(maxo, o);
+  }
+  if (nprocs < 0) nprocs = maxo + 1;
+  if (maxo >= nprocs) throw UsageError("implicit owner out of range");
+  AxisDist d;
+  d.kind_ = AxisKind::Implicit;
+  d.extent_ = static_cast<Index>(owners.size());
+  d.nprocs_ = nprocs;
+  d.owners_ = std::move(owners);
+  d.build_intervals();
+  return d;
+}
+
+void AxisDist::build_intervals() {
+  intervals_.assign(nprocs_, {});
+  switch (kind_) {
+    case AxisKind::Collapsed:
+      intervals_[0].push_back({0, extent_});
+      break;
+    case AxisKind::BlockCyclic: {
+      const Index nblocks = (extent_ + block_ - 1) / block_;
+      for (Index j = 0; j < nblocks; ++j) {
+        const int p = static_cast<int>(j % nprocs_);
+        intervals_[p].push_back(
+            {j * block_, std::min((j + 1) * block_, extent_)});
+      }
+      break;
+    }
+    case AxisKind::GeneralizedBlock: {
+      Index start = 0;
+      for (int p = 0; p < nprocs_; ++p) {
+        if (gen_sizes_[p] > 0)
+          intervals_[p].push_back({start, start + gen_sizes_[p]});
+        start += gen_sizes_[p];
+      }
+      break;
+    }
+    case AxisKind::Implicit: {
+      Index run_start = 0;
+      for (Index i = 1; i <= extent_; ++i) {
+        if (i == extent_ || owners_[i] != owners_[run_start]) {
+          intervals_[owners_[run_start]].push_back({run_start, i});
+          run_start = i;
+        }
+      }
+      break;
+    }
+  }
+  counts_.assign(nprocs_, 0);
+  cum_sizes_.assign(nprocs_, {});
+  for (int p = 0; p < nprocs_; ++p) {
+    Index acc = 0;
+    cum_sizes_[p].reserve(intervals_[p].size());
+    for (const auto& iv : intervals_[p]) {
+      cum_sizes_[p].push_back(acc);
+      acc += iv.length();
+    }
+    counts_[p] = acc;
+  }
+}
+
+int AxisDist::owner(Index i) const {
+  if (i < 0 || i >= extent_) throw UsageError("axis index out of range");
+  switch (kind_) {
+    case AxisKind::Collapsed:
+      return 0;
+    case AxisKind::BlockCyclic:
+      return static_cast<int>((i / block_) % nprocs_);
+    case AxisKind::GeneralizedBlock: {
+      Index start = 0;
+      for (int p = 0; p < nprocs_; ++p) {
+        start += gen_sizes_[p];
+        if (i < start) return p;
+      }
+      return nprocs_ - 1;
+    }
+    case AxisKind::Implicit:
+      return owners_[i];
+  }
+  return 0;
+}
+
+const std::vector<IndexInterval>& AxisDist::intervals_of(int p) const {
+  return intervals_.at(p);
+}
+
+Index AxisDist::local_count(int p) const { return counts_.at(p); }
+
+Index AxisDist::local_offset(int p, Index i) const {
+  const auto& ivs = intervals_.at(p);
+  // Binary search for the interval containing i.
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), i,
+      [](Index v, const IndexInterval& iv) { return v < iv.lo; });
+  if (it == ivs.begin()) throw UsageError("index not owned by process");
+  const std::size_t k = static_cast<std::size_t>(it - ivs.begin()) - 1;
+  if (!ivs[k].contains(i)) throw UsageError("index not owned by process");
+  return cum_sizes_.at(p)[k] + (i - ivs[k].lo);
+}
+
+Index AxisDist::global_index(int p, Index local) const {
+  const auto& cum = cum_sizes_.at(p);
+  if (local < 0 || local >= counts_.at(p))
+    throw UsageError("local index out of range");
+  auto it = std::upper_bound(cum.begin(), cum.end(), local);
+  const std::size_t k = static_cast<std::size_t>(it - cum.begin()) - 1;
+  return intervals_.at(p)[k].lo + (local - cum[k]);
+}
+
+void AxisDist::pack(rt::PackBuffer& b) const {
+  b.pack(static_cast<std::uint8_t>(kind_));
+  b.pack(extent_);
+  b.pack(nprocs_);
+  b.pack(block_);
+  b.pack(gen_sizes_);
+  b.pack(owners_);
+}
+
+AxisDist AxisDist::unpack(rt::UnpackBuffer& u) {
+  const auto kind = static_cast<AxisKind>(u.unpack<std::uint8_t>());
+  const auto extent = u.unpack<Index>();
+  const auto nprocs = u.unpack<int>();
+  const auto block = u.unpack<Index>();
+  auto gen = u.unpack_vector<Index>();
+  auto owners = u.unpack_vector<int>();
+  switch (kind) {
+    case AxisKind::Collapsed: return collapsed(extent);
+    case AxisKind::BlockCyclic: return block_cyclic(extent, nprocs, block);
+    case AxisKind::GeneralizedBlock: return generalized_block(std::move(gen));
+    case AxisKind::Implicit: return implicit(std::move(owners), nprocs);
+  }
+  throw UsageError("corrupt axis descriptor");
+}
+
+bool operator==(const AxisDist& a, const AxisDist& b) {
+  return a.kind_ == b.kind_ && a.extent_ == b.extent_ &&
+         a.nprocs_ == b.nprocs_ && a.block_ == b.block_ &&
+         a.gen_sizes_ == b.gen_sizes_ && a.owners_ == b.owners_;
+}
+
+}  // namespace mxn::dad

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dad/geometry.hpp"
+#include "rt/error.hpp"
+#include "rt/serialize.hpp"
+
+namespace mxn::dad {
+
+/// The per-axis distribution kinds of the CCA Distributed Array Descriptor
+/// (version 1), patterned after the HPF distributed array model (paper
+/// §2.2.2):
+///  - Collapsed: the whole axis belongs to a single process.
+///  - BlockCyclic: regular blocks dealt cyclically; block == ceil(extent/p)
+///    degenerates to plain "block", block == 1 to "cyclic".
+///  - GeneralizedBlock: one block per process with per-process sizes
+///    (Global Arrays style).
+///  - Implicit: one owner entry per index — fully general, fully
+///    structureless (and correspondingly expensive to query).
+enum class AxisKind : std::uint8_t {
+  Collapsed,
+  BlockCyclic,
+  GeneralizedBlock,
+  Implicit,
+};
+
+[[nodiscard]] std::string to_string(AxisKind kind);
+
+/// Distribution of one array axis across the `nprocs` process coordinates of
+/// that axis of the process grid. Immutable after construction; all derived
+/// structure (interval lists, prefix sums) is precomputed so concurrent
+/// queries from many ranks are safe.
+class AxisDist {
+ public:
+  static AxisDist collapsed(Index extent);
+  static AxisDist block(Index extent, int nprocs);
+  static AxisDist cyclic(Index extent, int nprocs);
+  static AxisDist block_cyclic(Index extent, int nprocs, Index block);
+  static AxisDist generalized_block(std::vector<Index> sizes);
+  /// `owner[i]` is the process coordinate owning index i; nprocs inferred as
+  /// max(owner)+1 unless given explicitly.
+  static AxisDist implicit(std::vector<int> owners, int nprocs = -1);
+
+  [[nodiscard]] AxisKind kind() const { return kind_; }
+  [[nodiscard]] Index extent() const { return extent_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] Index block_size() const { return block_; }
+
+  /// Process coordinate owning global index i along this axis.
+  [[nodiscard]] int owner(Index i) const;
+
+  /// Ascending, disjoint intervals owned by process coordinate p.
+  [[nodiscard]] const std::vector<IndexInterval>& intervals_of(int p) const;
+
+  /// Number of indices owned by p.
+  [[nodiscard]] Index local_count(int p) const;
+
+  /// Position of owned global index i within the ascending concatenation of
+  /// p's intervals ("local index" along this axis).
+  [[nodiscard]] Index local_offset(int p, Index i) const;
+
+  /// Inverse of local_offset.
+  [[nodiscard]] Index global_index(int p, Index local) const;
+
+  /// Size, in entries, of the descriptor data proportional to the array
+  /// (nonzero only for Implicit). Used to contrast compact vs structureless
+  /// descriptors (paper §2.2.2, last paragraph).
+  [[nodiscard]] std::size_t descriptor_entries() const {
+    return kind_ == AxisKind::Implicit ? static_cast<std::size_t>(extent_) : 0;
+  }
+
+  void pack(rt::PackBuffer& b) const;
+  static AxisDist unpack(rt::UnpackBuffer& u);
+
+  friend bool operator==(const AxisDist& a, const AxisDist& b);
+
+ private:
+  AxisDist() = default;
+  void build_intervals();
+
+  AxisKind kind_ = AxisKind::Collapsed;
+  Index extent_ = 0;
+  int nprocs_ = 1;
+  Index block_ = 0;                   // BlockCyclic only
+  std::vector<Index> gen_sizes_;      // GeneralizedBlock only
+  std::vector<int> owners_;           // Implicit only
+
+  // Precomputed per process coordinate.
+  std::vector<std::vector<IndexInterval>> intervals_;
+  std::vector<std::vector<Index>> cum_sizes_;  // prefix sizes of intervals
+  std::vector<Index> counts_;
+};
+
+}  // namespace mxn::dad

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dad/axis.hpp"
+#include "dad/geometry.hpp"
+
+namespace mxn::dad {
+
+/// A patch assigned to a rank — the unit of the DAD "explicit" distribution.
+struct OwnedPatch {
+  Patch patch;
+  int owner = 0;
+};
+
+/// Distributed Array Descriptor template (paper §2.2.2): the virtual array
+/// that specifies the logical distribution of data across the cohort of a
+/// parallel component. Any number of actual arrays (DistArray) can be
+/// aligned to one template; communication schedules are computed from — and
+/// cached against — templates, so they are reused across conforming arrays.
+///
+/// Two families:
+///  - regular: per-axis AxisDist over a process grid whose axis sizes are
+///    the axes' nprocs (HPF model: collapsed / block-cyclic / generalized
+///    block / implicit per axis);
+///  - explicit: array-global list of non-overlapping rectangular patches,
+///    each assigned to a rank, that exactly covers the index space.
+///
+/// Immutable after construction; all per-rank patch lists and prefix volumes
+/// are precomputed, so concurrent queries from all cohort threads are safe.
+class Descriptor {
+ public:
+  /// Regular HPF-style template; the process grid is the row-major product
+  /// of the axes' nprocs values, so nranks() == prod(axes[a].nprocs()).
+  static Descriptor regular(std::vector<AxisDist> axes);
+
+  /// Explicit template. Throws unless the patches are in-bounds, mutually
+  /// disjoint and exactly cover the global index space.
+  static Descriptor explicit_patches(int ndim, const Point& extents,
+                                     std::vector<OwnedPatch> patches,
+                                     int nranks);
+
+  [[nodiscard]] bool is_explicit() const { return explicit_; }
+  [[nodiscard]] int ndim() const { return ndim_; }
+  [[nodiscard]] Index extent(int axis) const { return extents_[axis]; }
+  [[nodiscard]] const Point& extents() const { return extents_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  [[nodiscard]] Index total_volume() const {
+    Index v = 1;
+    for (int a = 0; a < ndim_; ++a) v *= extents_[a];
+    return v;
+  }
+
+  /// The axis distributions (regular templates only).
+  [[nodiscard]] const std::vector<AxisDist>& axes() const { return axes_; }
+
+  /// Patches owned by `rank`, in canonical (storage) order. Local storage of
+  /// an aligned array is the concatenation of these patches, each row-major.
+  [[nodiscard]] const std::vector<Patch>& patches_of(int rank) const {
+    return rank_patches_.at(rank);
+  }
+
+  /// Storage offset of the first element of patches_of(rank)[i].
+  [[nodiscard]] Index patch_base(int rank, std::size_t i) const {
+    return rank_patch_bases_.at(rank).at(i);
+  }
+
+  /// Elements owned by `rank`.
+  [[nodiscard]] Index local_volume(int rank) const {
+    return rank_volumes_.at(rank);
+  }
+
+  /// Bounding box of `rank`'s patches (meaningless when the rank owns
+  /// nothing — check local_volume first). Schedule builders use it to skip
+  /// rank pairs that cannot exchange anything.
+  [[nodiscard]] const Patch& bounding_box(int rank) const {
+    return rank_bboxes_.at(rank);
+  }
+
+  /// Rank owning a global point.
+  [[nodiscard]] int owner(const Point& p) const;
+
+  /// Storage offset (within rank's concatenated patch storage) of an owned
+  /// global point. Throws if `rank` does not own `p`.
+  [[nodiscard]] Index global_to_local(int rank, const Point& p) const;
+
+  /// Inverse of global_to_local.
+  [[nodiscard]] Point local_to_global(int rank, Index offset) const;
+
+  /// Index of the owned patch of `rank` that fully contains `region`;
+  /// throws if none does.
+  [[nodiscard]] std::size_t patch_containing(int rank,
+                                             const Patch& region) const;
+
+  /// Same global index space (shape), regardless of distribution. Arrays on
+  /// same-shape templates can be coupled by redistribution.
+  [[nodiscard]] bool same_shape(const Descriptor& other) const;
+
+  /// Size of the descriptor metadata proportional to the array (counts the
+  /// per-element entries of implicit axes and the patch list of explicit
+  /// templates). Compact descriptors have O(P) entries; structureless ones
+  /// O(elements) — the trade-off §2.2.2 closes on.
+  [[nodiscard]] std::size_t descriptor_entries() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void pack(rt::PackBuffer& b) const;
+  static Descriptor unpack(rt::UnpackBuffer& u);
+
+  friend bool operator==(const Descriptor& a, const Descriptor& b);
+
+ private:
+  Descriptor() = default;
+  void finalize();  // builds rank_patches_ etc. for regular templates
+
+  bool explicit_ = false;
+  int ndim_ = 0;
+  Point extents_{};
+  int nranks_ = 0;
+  std::vector<AxisDist> axes_;            // regular only
+  std::vector<OwnedPatch> all_patches_;   // explicit only
+
+  // Derived, precomputed:
+  std::vector<std::vector<Patch>> rank_patches_;
+  std::vector<std::vector<Index>> rank_patch_bases_;
+  std::vector<Index> rank_volumes_;
+  std::vector<Patch> rank_bboxes_;
+};
+
+/// Shared immutable descriptor handle; cohort threads and the framework pass
+/// these around freely.
+using DescriptorPtr = std::shared_ptr<const Descriptor>;
+
+template <class... Args>
+DescriptorPtr make_regular(Args&&... args) {
+  return std::make_shared<const Descriptor>(
+      Descriptor::regular(std::forward<Args>(args)...));
+}
+
+inline DescriptorPtr make_explicit(int ndim, const Point& extents,
+                                   std::vector<OwnedPatch> patches,
+                                   int nranks) {
+  return std::make_shared<const Descriptor>(Descriptor::explicit_patches(
+      ndim, extents, std::move(patches), nranks));
+}
+
+}  // namespace mxn::dad

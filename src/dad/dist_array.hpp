@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "dad/descriptor.hpp"
+
+namespace mxn::dad {
+
+/// Visit `region` as a sequence of rows contiguous along the last axis:
+/// fn(row_start_point, row_length). Row order is row-major over the leading
+/// axes, which is also the order of the region's row-major serialization —
+/// the property the pack/unpack kernels below rely on.
+template <class Fn>
+void for_each_row(const Patch& region, Fn&& fn) {
+  if (region.empty()) return;
+  const int last = region.ndim - 1;
+  const Index row_len = region.extent(last);
+  Point p = region.lo;
+  while (true) {
+    fn(const_cast<const Point&>(p), row_len);
+    int a = last - 1;
+    while (a >= 0) {
+      if (++p[a] < region.hi[a]) break;
+      p[a] = region.lo[a];
+      --a;
+    }
+    if (a < 0) return;
+  }
+}
+
+/// An actual array aligned to a Descriptor template: this rank's local
+/// storage is the concatenation of its owned patches, each row-major. This
+/// is the "direct access to the DA's local memory" model the paper adopts
+/// for M×N transfers (§2.2.2) — redistribution reads and writes these
+/// buffers without going through any DA package interface.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+class DistArray {
+ public:
+  DistArray(DescriptorPtr desc, int rank)
+      : desc_(std::move(desc)),
+        rank_(rank),
+        data_(static_cast<std::size_t>(desc_->local_volume(rank))) {}
+
+  [[nodiscard]] const Descriptor& descriptor() const { return *desc_; }
+  [[nodiscard]] const DescriptorPtr& descriptor_ptr() const { return desc_; }
+  [[nodiscard]] int rank() const { return rank_; }
+
+  [[nodiscard]] std::span<T> local() { return data_; }
+  [[nodiscard]] std::span<const T> local() const { return data_; }
+
+  /// Element access by global point; the point must be owned by this rank.
+  [[nodiscard]] T& at(const Point& p) {
+    return data_[static_cast<std::size_t>(desc_->global_to_local(rank_, p))];
+  }
+  [[nodiscard]] const T& at(const Point& p) const {
+    return data_[static_cast<std::size_t>(desc_->global_to_local(rank_, p))];
+  }
+
+  /// Initialize every owned element from its global coordinates.
+  template <class Fn>
+  void fill(Fn&& fn) {
+    for_each_owned([&](const Point& p, T& v) { v = fn(p); });
+  }
+
+  template <class Fn>
+  void for_each_owned(Fn&& fn) {
+    const auto& patches = desc_->patches_of(rank_);
+    for (std::size_t i = 0; i < patches.size(); ++i) {
+      Index off = desc_->patch_base(rank_, i);
+      patches[i].for_each_point([&](const Point& p) {
+        fn(p, data_[static_cast<std::size_t>(off)]);
+        ++off;
+      });
+    }
+  }
+
+  template <class Fn>
+  void for_each_owned(Fn&& fn) const {
+    const_cast<DistArray*>(this)->for_each_owned(
+        [&](const Point& p, T& v) { fn(p, const_cast<const T&>(v)); });
+  }
+
+  /// Copy `region` (which must lie inside a single owned patch — schedule
+  /// builders guarantee this by intersecting patch-by-patch) into `out` in
+  /// row-major region order. Rows along the last axis are contiguous in
+  /// local storage, so this is a sequence of memcpys.
+  void extract(const Patch& region, T* out) const {
+    const std::size_t pi = desc_->patch_containing(rank_, region);
+    const Patch& owned = desc_->patches_of(rank_)[pi];
+    const Index base = desc_->patch_base(rank_, pi);
+    Index written = 0;
+    for_each_row(region, [&](const Point& row, Index len) {
+      const Index src = base + owned.offset_of(row);
+      std::memcpy(out + written, data_.data() + src,
+                  static_cast<std::size_t>(len) * sizeof(T));
+      written += len;
+    });
+  }
+
+  /// Inverse of extract.
+  void inject(const Patch& region, const T* in) {
+    const std::size_t pi = desc_->patch_containing(rank_, region);
+    const Patch& owned = desc_->patches_of(rank_)[pi];
+    const Index base = desc_->patch_base(rank_, pi);
+    Index read = 0;
+    for_each_row(region, [&](const Point& row, Index len) {
+      const Index dst = base + owned.offset_of(row);
+      std::memcpy(data_.data() + dst, in + read,
+                  static_cast<std::size_t>(len) * sizeof(T));
+      read += len;
+    });
+  }
+
+  [[nodiscard]] std::vector<T> extract(const Patch& region) const {
+    std::vector<T> out(static_cast<std::size_t>(region.volume()));
+    extract(region, out.data());
+    return out;
+  }
+
+ private:
+  DescriptorPtr desc_;
+  int rank_;
+  std::vector<T> data_;
+};
+
+}  // namespace mxn::dad

@@ -1,0 +1,18 @@
+#include "dad/geometry.hpp"
+
+#include <sstream>
+
+namespace mxn::dad {
+
+std::string Patch::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (int a = 0; a < ndim; ++a) {
+    if (a) os << ", ";
+    os << lo[a] << ":" << hi[a];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mxn::dad

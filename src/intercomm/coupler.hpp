@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/field.hpp"
+#include "sched/coupling.hpp"
+#include "sched/schedule.hpp"
+
+namespace mxn::intercomm {
+
+/// Raised on the importer when the coordination rule cannot be satisfied
+/// (no matching export exists, or it aged out of the exporter's buffer).
+class NoMatchError : public rt::Error {
+ public:
+  using rt::Error::Error;
+};
+
+/// Timestamp matching criteria of the coordination specification (paper
+/// §4.4: "the use of timestamps to determine when a data transfer will
+/// occur, via various types of matching criteria" [41]):
+///  - Exact: the import's timestamp must equal an export's timestamp.
+///  - LowerBound: the import matches the greatest export timestamp <= the
+///    requested one (decidable as soon as a later export appears, or at
+///    stream end).
+///  - UpperBound: the import matches the least export timestamp >= the
+///    requested one (the "wait for fresh-enough data" rule).
+/// All rules match within the exporter's retention window (buffer_depth
+/// snapshots): exports that aged out cannot be delivered.
+enum class MatchPolicy : std::uint8_t { Exact, LowerBound, UpperBound };
+
+/// One program's endpoint of an InterComm coupling.
+struct EndpointConfig {
+  rt::Communicator channel;      // spans both programs
+  rt::Communicator cohort;       // this program
+  std::vector<int> my_ranks;     // channel ranks, index == cohort rank
+  std::vector<int> peer_ranks;   // channel ranks of the other program
+  /// Small id distinguishing couplings sharing one channel (tag block).
+  int coupling_id = 0;
+};
+
+/// Per-endpoint transfer counters.
+struct CouplerStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t unmatched = 0;
+};
+
+/// The exporting side. A program only *expresses potential* data transfers
+/// with export calls; whether a given export actually moves data is decided
+/// by matching it against the importer's requests under the coordination
+/// rule — "freeing each program developer from having to know in advance
+/// the communication patterns of its potential partners" (§4.4). Exports
+/// are buffered (ring of `buffer_depth` snapshots) so the two programs'
+/// timelines may skew.
+class Exporter {
+ public:
+  /// Replicated-descriptor coupling (block distributions): both sides hold
+  /// full DADs; `field.descriptor` must be set. Collective over the cohort
+  /// and pairwise with the importer's matching constructor.
+  static Exporter replicated(EndpointConfig cfg,
+                             core::FieldRegistration field,
+                             MatchPolicy policy, int buffer_depth);
+
+  /// Partitioned-descriptor coupling (explicit distributions): this rank
+  /// knows only `my_patches`; the schedule is built by the distributed
+  /// protocol.
+  static Exporter partitioned(EndpointConfig cfg,
+                              core::FieldRegistration field,
+                              std::vector<dad::Patch> my_patches,
+                              MatchPolicy policy, int buffer_depth);
+
+  /// Publish the current field contents under `ts` (strictly increasing).
+  /// Collective over the exporter cohort; never blocks on the importer.
+  /// Outstanding import requests that become decidable are answered.
+  void do_export(std::int64_t ts);
+
+  /// End of stream: blocks until the importer has closed, answering every
+  /// remaining request under end-of-stream semantics. Collective.
+  void finalize();
+
+  [[nodiscard]] const CouplerStats& stats() const { return stats_; }
+
+ private:
+  Exporter() = default;
+  void drain_and_process(bool until_closed);
+  void process_pending();
+  void answer(std::int64_t requested, std::optional<std::size_t> snapshot);
+
+  EndpointConfig cfg_;
+  core::FieldRegistration field_;
+  sched::RegionSchedule sched_;  // sends only
+  MatchPolicy policy_ = MatchPolicy::Exact;
+  int depth_ = 1;
+
+  struct Snapshot {
+    std::int64_t ts = 0;
+    // Packed region data per send-list entry (aligned with sched_.sends).
+    std::vector<std::vector<std::byte>> per_peer;
+  };
+  std::deque<Snapshot> buffer_;
+  std::deque<std::int64_t> pending_;  // requested timestamps, FIFO
+  std::int64_t max_ts_ = INT64_MIN;
+  bool importer_closed_ = false;
+  bool finalizing_ = false;
+  CouplerStats stats_;
+};
+
+/// The importing side.
+class Importer {
+ public:
+  static Importer replicated(EndpointConfig cfg,
+                             core::FieldRegistration field,
+                             MatchPolicy policy);
+  static Importer partitioned(EndpointConfig cfg,
+                              core::FieldRegistration field,
+                              std::vector<dad::Patch> my_patches,
+                              MatchPolicy policy);
+
+  /// Request the field state for `ts`; blocks until the coordination rule
+  /// resolves the request. Returns the matched export timestamp. Throws
+  /// NoMatchError when no export satisfies the rule. Collective over the
+  /// importer cohort.
+  std::int64_t do_import(std::int64_t ts);
+
+  /// Tell the exporter no more imports will come (unblocks its finalize()).
+  /// Collective.
+  void close();
+
+  [[nodiscard]] const CouplerStats& stats() const { return stats_; }
+
+ private:
+  Importer() = default;
+
+  EndpointConfig cfg_;
+  core::FieldRegistration field_;
+  sched::RegionSchedule sched_;  // recvs only
+  MatchPolicy policy_ = MatchPolicy::Exact;
+  bool closed_ = false;
+  CouplerStats stats_;
+};
+
+}  // namespace mxn::intercomm

@@ -1,0 +1,80 @@
+#include "intercomm/distributed_schedule.hpp"
+
+#include "rt/serialize.hpp"
+
+namespace mxn::intercomm {
+
+using dad::Patch;
+
+sched::RegionSchedule build_region_schedule_partitioned(
+    const std::vector<Patch>& my_src_patches,
+    const std::vector<Patch>& my_dst_patches, const sched::Coupling& c,
+    int tag) {
+  rt::Communicator channel = c.channel;
+  const int patches_tag = tag;
+  const int regions_tag = tag + 1;
+  const int my_src = c.my_src_rank();
+  const int my_dst = c.my_dst_rank();
+
+  sched::RegionSchedule out;
+
+  // Phase 1: source ranks publish their patch lists.
+  if (my_src >= 0) {
+    rt::PackBuffer b;
+    b.pack(static_cast<std::uint64_t>(my_src_patches.size()));
+    for (const auto& p : my_src_patches) p.pack(b);
+    const auto bytes = std::move(b).take();
+    for (int d : c.dst_ranks) channel.send(d, patches_tag, bytes);
+  }
+
+  // Phase 2: destination ranks intersect and reply with expected regions.
+  if (my_dst >= 0) {
+    for (std::size_t s = 0; s < c.src_ranks.size(); ++s) {
+      auto msg = channel.recv(c.src_ranks[s], patches_tag);
+      rt::UnpackBuffer u(msg.payload);
+      const auto n = u.unpack<std::uint64_t>();
+      sched::PeerRegions pr;
+      pr.peer = static_cast<int>(s);
+      rt::PackBuffer reply;
+      std::uint64_t count = 0;
+      rt::PackBuffer regions;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Patch sp = Patch::unpack(u);
+        for (const auto& mine : my_dst_patches) {
+          if (auto r = Patch::intersect(sp, mine)) {
+            r->pack(regions);
+            ++count;
+            pr.regions.push_back(*r);
+            pr.elements += r->volume();
+          }
+        }
+      }
+      reply.pack(count);
+      reply.pack_raw(regions.bytes());
+      channel.send(c.src_ranks[s], regions_tag, std::move(reply).take());
+      if (!pr.regions.empty()) out.recvs.push_back(std::move(pr));
+    }
+  }
+
+  // Phase 3: source ranks adopt the returned lists as their send schedule.
+  if (my_src >= 0) {
+    for (std::size_t d = 0; d < c.dst_ranks.size(); ++d) {
+      auto msg = channel.recv(c.dst_ranks[d], regions_tag);
+      rt::UnpackBuffer u(msg.payload);
+      const auto n = u.unpack<std::uint64_t>();
+      if (n == 0) continue;
+      sched::PeerRegions pr;
+      pr.peer = static_cast<int>(d);
+      pr.regions.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        pr.regions.push_back(Patch::unpack(u));
+        pr.elements += pr.regions.back().volume();
+      }
+      out.sends.push_back(std::move(pr));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace mxn::intercomm

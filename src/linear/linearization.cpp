@@ -1,0 +1,130 @@
+#include "linear/linearization.hpp"
+
+#include <algorithm>
+
+#include "rt/error.hpp"
+
+namespace mxn::linear {
+
+using rt::UsageError;
+
+std::vector<Segment> normalize(std::vector<Segment> segs) {
+  segs.erase(std::remove_if(segs.begin(), segs.end(),
+                            [](const Segment& s) { return s.empty(); }),
+             segs.end());
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) { return a.lo < b.lo; });
+  std::vector<Segment> out;
+  for (const auto& s : segs) {
+    if (!out.empty() && s.lo <= out.back().hi)
+      out.back().hi = std::max(out.back().hi, s.hi);
+    else
+      out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Segment> intersect(const std::vector<Segment>& a,
+                               const std::vector<Segment>& b) {
+  std::vector<Segment> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Index lo = std::max(a[i].lo, b[j].lo);
+    const Index hi = std::min(a[i].hi, b[j].hi);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].hi < b[j].hi)
+      ++i;
+    else
+      ++j;
+  }
+  return out;
+}
+
+Index total_length(const std::vector<Segment>& segs) {
+  Index t = 0;
+  for (const auto& s : segs) t += s.length();
+  return t;
+}
+
+Linearization Linearization::row_major(int ndim, const Point& extents) {
+  std::array<int, dad::kMaxNdim> order{};
+  for (int i = 0; i < ndim; ++i) order[i] = i;
+  return axis_order(ndim, extents, order);
+}
+
+Linearization Linearization::column_major(int ndim, const Point& extents) {
+  std::array<int, dad::kMaxNdim> order{};
+  for (int i = 0; i < ndim; ++i) order[i] = ndim - 1 - i;
+  return axis_order(ndim, extents, order);
+}
+
+Linearization Linearization::axis_order(int ndim, const Point& extents,
+                                        std::array<int, dad::kMaxNdim> order) {
+  if (ndim < 1 || ndim > dad::kMaxNdim) throw UsageError("bad ndim");
+  std::array<bool, dad::kMaxNdim> seen{};
+  for (int i = 0; i < ndim; ++i) {
+    if (order[i] < 0 || order[i] >= ndim || seen[order[i]])
+      throw UsageError("axis order must be a permutation of 0..ndim-1");
+    seen[order[i]] = true;
+  }
+  Linearization lin;
+  lin.ndim_ = ndim;
+  lin.extents_ = extents;
+  lin.order_ = order;
+  lin.total_ = 1;
+  for (int a = 0; a < ndim; ++a) {
+    if (extents[a] <= 0) throw UsageError("extents must be positive");
+    lin.total_ *= extents[a];
+  }
+  return lin;
+}
+
+bool Linearization::is_row_major() const {
+  for (int i = 0; i < ndim_; ++i)
+    if (order_[i] != i) return false;
+  return true;
+}
+
+std::vector<ProvenancedSegment> footprint_with_provenance(
+    const dad::Descriptor& desc, int rank, const Linearization& lin) {
+  if (desc.ndim() != lin.ndim())
+    throw UsageError("linearization/descriptor dimensionality mismatch");
+  const int f = lin.fastest_axis();
+  std::vector<ProvenancedSegment> out;
+  const auto& patches = desc.patches_of(rank);
+  for (std::size_t pi = 0; pi < patches.size(); ++pi) {
+    const Patch& p = patches[pi];
+    const Index base = desc.patch_base(rank, pi);
+    // Storage stride between consecutive indices along axis f inside this
+    // row-major patch: product of extents of the axes after f.
+    Index stride = 1;
+    for (int a = f + 1; a < p.ndim; ++a) stride *= p.extent(a);
+    // Enumerate runs along axis f: iterate the patch with axis f pinned.
+    Patch starts = p;
+    starts.hi[f] = starts.lo[f] + 1;
+    starts.for_each_point([&](const Point& s) {
+      ProvenancedSegment ps;
+      ps.seg.lo = lin.offset_of(s);
+      ps.seg.hi = ps.seg.lo + p.extent(f);
+      ps.storage_offset = base + p.offset_of(s);
+      ps.storage_stride = stride;
+      out.push_back(ps);
+    });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProvenancedSegment& a, const ProvenancedSegment& b) {
+              return a.seg.lo < b.seg.lo;
+            });
+  return out;
+}
+
+std::vector<Segment> footprint(const dad::Descriptor& desc, int rank,
+                               const Linearization& lin) {
+  auto prov = footprint_with_provenance(desc, rank, lin);
+  std::vector<Segment> segs;
+  segs.reserve(prov.size());
+  for (const auto& ps : prov) segs.push_back(ps.seg);
+  return normalize(std::move(segs));
+}
+
+}  // namespace mxn::linear

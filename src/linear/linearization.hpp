@@ -1,0 +1,109 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "dad/descriptor.hpp"
+#include "dad/geometry.hpp"
+
+namespace mxn::linear {
+
+using dad::Index;
+using dad::Patch;
+using dad::Point;
+
+/// Half-open interval [lo, hi) of the abstract linear index space.
+struct Segment {
+  Index lo = 0;
+  Index hi = 0;
+
+  [[nodiscard]] Index length() const { return hi - lo; }
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Sort segments and merge touching/overlapping ones.
+std::vector<Segment> normalize(std::vector<Segment> segs);
+
+/// Intersection of two normalized segment lists (two-pointer sweep).
+std::vector<Segment> intersect(const std::vector<Segment>& a,
+                               const std::vector<Segment>& b);
+
+/// Total number of indices covered by a normalized list.
+Index total_length(const std::vector<Segment>& segs);
+
+/// A linearization maps the multidimensional global index space onto a
+/// single abstract 1-D arrangement (paper §2.2.1). The mapping between the
+/// source and target data is then implicit: elements with equal linear index
+/// correspond. The application controls the order; axis-permutation orders
+/// cover row-major, column-major and transposes. Linearization is logical —
+/// nothing is ever materialized in this order; it exists only as the common
+/// reference for computing communication schedules.
+class Linearization {
+ public:
+  /// Row-major (last axis fastest) — matches DistArray patch storage order.
+  static Linearization row_major(int ndim, const Point& extents);
+
+  /// Column-major (first axis fastest).
+  static Linearization column_major(int ndim, const Point& extents);
+
+  /// Axes listed from slowest to fastest. order must be a permutation of
+  /// 0..ndim-1. Using the reversed identity yields column-major; swapping
+  /// two axes of the identity expresses a transpose coupling.
+  static Linearization axis_order(int ndim, const Point& extents,
+                                  std::array<int, dad::kMaxNdim> order);
+
+  [[nodiscard]] int ndim() const { return ndim_; }
+  [[nodiscard]] Index total() const { return total_; }
+  [[nodiscard]] int fastest_axis() const { return order_[ndim_ - 1]; }
+  [[nodiscard]] bool is_row_major() const;
+
+  [[nodiscard]] Index offset_of(const Point& p) const {
+    Index off = 0;
+    for (int i = 0; i < ndim_; ++i)
+      off = off * extents_[order_[i]] + p[order_[i]];
+    return off;
+  }
+
+  [[nodiscard]] Point point_at(Index offset) const {
+    Point p{};
+    for (int i = ndim_ - 1; i >= 0; --i) {
+      const int a = order_[i];
+      p[a] = offset % extents_[a];
+      offset /= extents_[a];
+    }
+    return p;
+  }
+
+ private:
+  Linearization() = default;
+
+  int ndim_ = 0;
+  Point extents_{};
+  std::array<int, dad::kMaxNdim> order_{};
+  Index total_ = 0;
+};
+
+/// A run of indices that is contiguous in linear space, together with where
+/// those elements live in the owning rank's local storage. `storage_stride`
+/// is the storage distance between consecutive linear indices of the run: 1
+/// when the linearization's fastest axis is the storage's fastest (row-major
+/// over the patch), something larger for permuted orders.
+struct ProvenancedSegment {
+  Segment seg;
+  Index storage_offset = 0;  // local storage offset of seg.lo's element
+  Index storage_stride = 1;
+};
+
+/// The linear footprint of `rank` under `desc`: the set of linear indices it
+/// owns, as normalized segments.
+std::vector<Segment> footprint(const dad::Descriptor& desc, int rank,
+                               const Linearization& lin);
+
+/// Footprint with storage provenance, sorted by linear offset; the schedule
+/// executor uses this to pack/unpack segment data with strided copies
+/// instead of per-element descriptor queries.
+std::vector<ProvenancedSegment> footprint_with_provenance(
+    const dad::Descriptor& desc, int rank, const Linearization& lin);
+
+}  // namespace mxn::linear

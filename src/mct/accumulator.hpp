@@ -1,0 +1,54 @@
+#pragma once
+
+#include "mct/attr_vect.hpp"
+
+namespace mxn::mct {
+
+/// MCT's register for time averaging and accumulation of field data —
+/// "for use in coupling concurrently executing components that do not share
+/// a common time-step, or are coupled at a frequency of multiple
+/// time-steps" (paper §4.5). Accumulate every model step; hand the average
+/// (or the running sum) to the coupler at the coupling frequency.
+class Accumulator {
+ public:
+  Accumulator(std::vector<std::string> fields, Index length)
+      : sum_(std::move(fields), length) {}
+
+  void accumulate(const AttrVect& av) {
+    if (!av.same_schema(sum_) || av.length() != sum_.length())
+      throw rt::UsageError("accumulated AttrVect does not match");
+    for (int f = 0; f < sum_.nfields(); ++f) {
+      auto s = sum_.field(f);
+      auto v = av.field(f);
+      for (Index i = 0; i < sum_.length(); ++i) s[i] += v[i];
+    }
+    ++steps_;
+  }
+
+  [[nodiscard]] int steps() const { return steps_; }
+  [[nodiscard]] const AttrVect& sum() const { return sum_; }
+
+  /// Time average over the accumulated steps.
+  [[nodiscard]] AttrVect average() const {
+    if (steps_ == 0)
+      throw rt::UsageError("cannot average an empty accumulator");
+    AttrVect out = AttrVect::like(sum_, sum_.length());
+    for (int f = 0; f < sum_.nfields(); ++f) {
+      auto o = out.field(f);
+      auto s = sum_.field(f);
+      for (Index i = 0; i < sum_.length(); ++i) o[i] = s[i] / steps_;
+    }
+    return out;
+  }
+
+  void reset() {
+    sum_.zero();
+    steps_ = 0;
+  }
+
+ private:
+  AttrVect sum_;
+  int steps_ = 0;
+};
+
+}  // namespace mxn::mct

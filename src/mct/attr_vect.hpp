@@ -1,0 +1,88 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mct/global_seg_map.hpp"
+#include "rt/error.hpp"
+
+namespace mxn::mct {
+
+/// MCT's multi-field data storage object — "the common currency modules use
+/// in data exchange" (paper §4.5). Holds `nfields` named real fields over
+/// the rank's local points, stored field-major (each field contiguous, the
+/// cache-friendly layout MCT advertises for its sparse matvec).
+class AttrVect {
+ public:
+  AttrVect() = default;
+
+  AttrVect(std::vector<std::string> fields, Index length)
+      : names_(std::move(fields)), length_(length) {
+    if (length < 0) throw rt::UsageError("AttrVect length must be >= 0");
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i].empty()) throw rt::UsageError("field name must not be empty");
+      if (!index_.emplace(names_[i], static_cast<int>(i)).second)
+        throw rt::UsageError("duplicate field name '" + names_[i] + "'");
+    }
+    data_.assign(names_.size() * static_cast<std::size_t>(length), 0.0);
+  }
+
+  /// Same field schema as `other` over a different local length.
+  static AttrVect like(const AttrVect& other, Index length) {
+    return AttrVect(other.names_, length);
+  }
+
+  [[nodiscard]] int nfields() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] Index length() const { return length_; }
+  [[nodiscard]] const std::vector<std::string>& field_names() const {
+    return names_;
+  }
+
+  [[nodiscard]] int field_index(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end())
+      throw rt::UsageError("AttrVect has no field '" + name + "'");
+    return it->second;
+  }
+
+  [[nodiscard]] std::span<double> field(int f) {
+    check_field(f);
+    return {data_.data() + static_cast<std::size_t>(f) * length_,
+            static_cast<std::size_t>(length_)};
+  }
+  [[nodiscard]] std::span<const double> field(int f) const {
+    check_field(f);
+    return {data_.data() + static_cast<std::size_t>(f) * length_,
+            static_cast<std::size_t>(length_)};
+  }
+  [[nodiscard]] std::span<double> field(const std::string& name) {
+    return field(field_index(name));
+  }
+  [[nodiscard]] std::span<const double> field(const std::string& name) const {
+    return field(field_index(name));
+  }
+
+  [[nodiscard]] double& at(int f, Index i) { return field(f)[i]; }
+  [[nodiscard]] double at(int f, Index i) const { return field(f)[i]; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  [[nodiscard]] bool same_schema(const AttrVect& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  void check_field(int f) const {
+    if (f < 0 || f >= nfields())
+      throw rt::UsageError("field index out of range");
+  }
+
+  std::vector<std::string> names_;
+  std::map<std::string, int> index_;
+  Index length_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mxn::mct

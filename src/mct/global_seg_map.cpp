@@ -1,0 +1,147 @@
+#include "mct/global_seg_map.hpp"
+
+#include <algorithm>
+
+#include "rt/error.hpp"
+
+namespace mxn::mct {
+
+using rt::UsageError;
+
+GlobalSegMap::GlobalSegMap(Index gsize, std::vector<Seg> segs)
+    : gsize_(gsize), segs_(std::move(segs)) {
+  if (gsize <= 0) throw UsageError("GlobalSegMap gsize must be positive");
+  Index covered = 0;
+  int maxo = -1;
+  for (const auto& s : segs_) {
+    if (s.length <= 0) throw UsageError("segment length must be positive");
+    if (s.start < 0 || s.start + s.length > gsize_)
+      throw UsageError("segment out of range");
+    if (s.owner < 0) throw UsageError("segment owner must be >= 0");
+    covered += s.length;
+    maxo = std::max(maxo, s.owner);
+  }
+  if (covered != gsize_)
+    throw UsageError("segments must cover exactly gsize points (" +
+                     std::to_string(covered) + " of " +
+                     std::to_string(gsize_) + ")");
+  // Disjointness: sort by start and check adjacency; combined with the
+  // coverage count this proves an exact partition.
+  sorted_.reserve(segs_.size());
+  for (std::size_t i = 0; i < segs_.size(); ++i)
+    sorted_.emplace_back(segs_[i].start, i);
+  std::sort(sorted_.begin(), sorted_.end());
+  Index expect = 0;
+  for (const auto& [start, i] : sorted_) {
+    if (start != expect) throw UsageError("segments overlap or leave gaps");
+    expect = start + segs_[i].length;
+  }
+
+  nprocs_ = maxo + 1;
+  by_rank_.assign(nprocs_, {});
+  local_sizes_.assign(nprocs_, 0);
+  for (const auto& s : segs_) {
+    by_rank_[s.owner].push_back(s);
+    local_sizes_[s.owner] += s.length;
+  }
+}
+
+GlobalSegMap GlobalSegMap::block(Index gsize, int nprocs) {
+  if (nprocs <= 0) throw UsageError("nprocs must be positive");
+  std::vector<Seg> segs;
+  const Index chunk = (gsize + nprocs - 1) / nprocs;
+  Index start = 0;
+  for (int p = 0; p < nprocs && start < gsize; ++p) {
+    const Index len = std::min(chunk, gsize - start);
+    segs.push_back({start, len, p});
+    start += len;
+  }
+  // Ensure every rank owns at least zero points but nprocs is respected by
+  // padding trailing empty ranks is not possible (segments must be
+  // non-empty); callers should keep nprocs <= gsize.
+  return GlobalSegMap(gsize, std::move(segs));
+}
+
+GlobalSegMap GlobalSegMap::cyclic(Index gsize, int nprocs, Index chunk) {
+  if (nprocs <= 0 || chunk <= 0) throw UsageError("bad cyclic parameters");
+  std::vector<Seg> segs;
+  Index start = 0;
+  int p = 0;
+  while (start < gsize) {
+    const Index len = std::min(chunk, gsize - start);
+    segs.push_back({start, len, p});
+    start += len;
+    p = (p + 1) % nprocs;
+  }
+  return GlobalSegMap(gsize, std::move(segs));
+}
+
+GlobalSegMap GlobalSegMap::from_descriptor(const dad::Descriptor& desc,
+                                           const linear::Linearization& lin) {
+  std::vector<Seg> segs;
+  for (int r = 0; r < desc.nranks(); ++r) {
+    for (const auto& s : linear::footprint(desc, r, lin))
+      segs.push_back({s.lo, s.hi - s.lo, r});
+  }
+  return GlobalSegMap(lin.total(), std::move(segs));
+}
+
+int GlobalSegMap::owner(Index gidx) const {
+  if (gidx < 0 || gidx >= gsize_) throw UsageError("global index out of range");
+  auto it = std::upper_bound(
+      sorted_.begin(), sorted_.end(), std::make_pair(gidx, SIZE_MAX));
+  const auto& [start, i] = *std::prev(it);
+  (void)start;
+  return segs_[i].owner;
+}
+
+Index GlobalSegMap::local_index(int rank, Index gidx) const {
+  Index off = 0;
+  for (const auto& s : segs_of(rank)) {
+    if (gidx >= s.start && gidx < s.start + s.length)
+      return off + (gidx - s.start);
+    off += s.length;
+  }
+  throw UsageError("global index not owned by rank");
+}
+
+Index GlobalSegMap::global_index(int rank, Index lidx) const {
+  Index off = 0;
+  for (const auto& s : segs_of(rank)) {
+    if (lidx < off + s.length) return s.start + (lidx - off);
+    off += s.length;
+  }
+  throw UsageError("local index out of range");
+}
+
+std::vector<linear::Segment> GlobalSegMap::footprint(int rank) const {
+  std::vector<linear::Segment> out;
+  out.reserve(segs_of(rank).size());
+  for (const auto& s : segs_of(rank))
+    out.push_back({s.start, s.start + s.length});
+  return linear::normalize(std::move(out));
+}
+
+void GlobalSegMap::pack(rt::PackBuffer& b) const {
+  b.pack(gsize_);
+  b.pack(static_cast<std::uint64_t>(segs_.size()));
+  for (const auto& s : segs_) {
+    b.pack(s.start);
+    b.pack(s.length);
+    b.pack(s.owner);
+  }
+}
+
+GlobalSegMap GlobalSegMap::unpack(rt::UnpackBuffer& u) {
+  const auto gsize = u.unpack<Index>();
+  const auto n = u.unpack<std::uint64_t>();
+  std::vector<Seg> segs(n);
+  for (auto& s : segs) {
+    s.start = u.unpack<Index>();
+    s.length = u.unpack<Index>();
+    s.owner = u.unpack<int>();
+  }
+  return GlobalSegMap(gsize, std::move(segs));
+}
+
+}  // namespace mxn::mct

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "mct/attr_vect.hpp"
+#include "rt/communicator.hpp"
+
+namespace mxn::mct {
+
+/// MCT's physical-grid object (paper §4.5): per-point coordinate and weight
+/// fields plus an integer mask (e.g. a land/ocean mask) over this rank's
+/// local points. Grids of arbitrary dimension and unstructured grids are
+/// covered because nothing here assumes structure — only a point list.
+class GeneralGrid {
+ public:
+  /// `coord_names` become real fields alongside a "grid_area" weight field.
+  GeneralGrid(std::vector<std::string> coord_names, Index length)
+      : mask_(static_cast<std::size_t>(length), 1) {
+    coord_names.push_back("grid_area");
+    data_ = AttrVect(std::move(coord_names), length);
+  }
+
+  [[nodiscard]] Index length() const { return data_.length(); }
+  [[nodiscard]] AttrVect& data() { return data_; }
+  [[nodiscard]] const AttrVect& data() const { return data_; }
+
+  [[nodiscard]] std::span<double> coord(const std::string& name) {
+    return data_.field(name);
+  }
+  [[nodiscard]] std::span<double> area() { return data_.field("grid_area"); }
+  [[nodiscard]] std::span<const double> area() const {
+    return data_.field("grid_area");
+  }
+
+  /// Per-point mask: 0 = excluded (e.g. land under an ocean field).
+  [[nodiscard]] std::vector<int>& mask() { return mask_; }
+  [[nodiscard]] const std::vector<int>& mask() const { return mask_; }
+
+ private:
+  AttrVect data_;
+  std::vector<int> mask_;
+};
+
+/// Masked, area-weighted spatial integral of one field over the component's
+/// whole grid (cohort-collective reduction). The paired use — computing the
+/// integral on the source grid before interpolation and on the destination
+/// grid after — is how MCT checks conservation of global flux integrals.
+[[nodiscard]] inline double spatial_integral(const AttrVect& av, int field,
+                                             const GeneralGrid& grid,
+                                             rt::Communicator cohort) {
+  if (av.length() != grid.length())
+    throw rt::UsageError("AttrVect and grid lengths differ");
+  double local = 0;
+  auto v = av.field(field);
+  auto w = grid.area();
+  for (Index i = 0; i < av.length(); ++i)
+    if (grid.mask()[static_cast<std::size_t>(i)] != 0) local += v[i] * w[i];
+  return cohort.allreduce(local, [](double a, double b) { return a + b; });
+}
+
+/// Masked, area-weighted spatial average.
+[[nodiscard]] inline double spatial_average(const AttrVect& av, int field,
+                                            const GeneralGrid& grid,
+                                            rt::Communicator cohort) {
+  double local_w = 0;
+  auto w = grid.area();
+  for (Index i = 0; i < grid.length(); ++i)
+    if (grid.mask()[static_cast<std::size_t>(i)] != 0) local_w += w[i];
+  const double total_w =
+      cohort.allreduce(local_w, [](double a, double b) { return a + b; });
+  if (total_w == 0) throw rt::UsageError("grid has zero unmasked weight");
+  return spatial_integral(av, field, grid, cohort) / total_w;
+}
+
+}  // namespace mxn::mct

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "mct/attr_vect.hpp"
+
+namespace mxn::mct {
+
+/// One source of a merge: field data plus per-point fractional weights
+/// (e.g. the land / ocean / sea-ice fractions of each atmosphere cell).
+struct MergeInput {
+  const AttrVect* data = nullptr;
+  std::span<const double> fraction;  // length() entries
+};
+
+/// MCT's merge facility (paper §4.5): "merging of state and flux data from
+/// multiple sources for use by a particular model (e.g., blending of land,
+/// ocean, and sea ice data for use by an atmosphere model)". Every output
+/// point is the fraction-weighted sum of the inputs; fractions are
+/// normalized per point so partially-covered cells stay unbiased.
+inline void merge(AttrVect& out, const std::vector<MergeInput>& inputs) {
+  if (inputs.empty()) throw rt::UsageError("merge needs at least one input");
+  for (const auto& in : inputs) {
+    if (!in.data) throw rt::UsageError("merge input data is null");
+    if (!in.data->same_schema(out) || in.data->length() != out.length())
+      throw rt::UsageError("merge input does not match the output schema");
+    if (static_cast<Index>(in.fraction.size()) != out.length())
+      throw rt::UsageError("merge fraction length mismatch");
+  }
+  for (Index i = 0; i < out.length(); ++i) {
+    double total = 0;
+    for (const auto& in : inputs) total += in.fraction[i];
+    if (total <= 0)
+      throw rt::UsageError("merge fractions sum to zero at a point");
+    for (int f = 0; f < out.nfields(); ++f) {
+      double acc = 0;
+      for (const auto& in : inputs)
+        acc += in.fraction[i] * in.data->field(f)[i];
+      out.field(f)[i] = acc / total;
+    }
+  }
+}
+
+}  // namespace mxn::mct

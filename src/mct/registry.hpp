@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rt/error.hpp"
+
+namespace mxn::mct {
+
+/// MCT's lightweight model registry (paper §4.5): "defines the MPI
+/// processes on which a module resides, and a process ID look-up table that
+/// obviates the need for inter-communicators between concurrently executing
+/// modules." Every process registers the full component map once; Routers
+/// then address peers by world rank directly.
+class Registry {
+ public:
+  void add(const std::string& name, std::vector<int> world_ranks) {
+    if (world_ranks.empty())
+      throw rt::UsageError("component needs at least one process");
+    if (!comps_.emplace(name, std::move(world_ranks)).second)
+      throw rt::UsageError("component '" + name + "' already registered");
+  }
+
+  [[nodiscard]] const std::vector<int>& ranks_of(
+      const std::string& name) const {
+    auto it = comps_.find(name);
+    if (it == comps_.end())
+      throw rt::UsageError("no component named '" + name + "'");
+    return it->second;
+  }
+
+  /// World rank of a component's cohort rank — the look-up table.
+  [[nodiscard]] int world_rank(const std::string& name, int cohort_rank) const {
+    const auto& ranks = ranks_of(name);
+    if (cohort_rank < 0 || cohort_rank >= static_cast<int>(ranks.size()))
+      throw rt::UsageError("cohort rank out of range");
+    return ranks[cohort_rank];
+  }
+
+  [[nodiscard]] bool member(const std::string& name, int world_rank) const {
+    const auto& ranks = ranks_of(name);
+    for (int r : ranks)
+      if (r == world_rank) return true;
+    return false;
+  }
+
+  /// Cohort rank of a world rank within a component, or -1.
+  [[nodiscard]] int cohort_rank(const std::string& name,
+                                int world_rank) const {
+    const auto& ranks = ranks_of(name);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i] == world_rank) return static_cast<int>(i);
+    return -1;
+  }
+
+ private:
+  std::map<std::string, std::vector<int>> comps_;
+};
+
+}  // namespace mxn::mct

@@ -1,0 +1,191 @@
+#include "mct/router.hpp"
+
+#include "sched/executor.hpp"
+
+namespace mxn::mct {
+
+using rt::UsageError;
+
+namespace {
+
+/// Storage provenance of a rank under a GSMap: its segments in local
+/// storage order, with cumulative storage offsets (stride 1 — each segment
+/// is contiguous both in linear space and locally).
+std::vector<linear::ProvenancedSegment> provenance(const GlobalSegMap& gsm,
+                                                   int rank) {
+  std::vector<linear::ProvenancedSegment> prov;
+  Index off = 0;
+  for (const auto& s : gsm.segs_of(rank)) {
+    linear::ProvenancedSegment ps;
+    ps.seg = {s.start, s.start + s.length};
+    ps.storage_offset = off;
+    ps.storage_stride = 1;
+    prov.push_back(ps);
+    off += s.length;
+  }
+  std::sort(prov.begin(), prov.end(),
+            [](const auto& a, const auto& b) { return a.seg.lo < b.seg.lo; });
+  return prov;
+}
+
+/// Swap GSMaps leader-to-leader and broadcast the peer's within the cohort.
+GlobalSegMap exchange_gsm(RouterConfig& cfg, const GlobalSegMap& mine,
+                          int tag) {
+  std::vector<std::byte> bytes;
+  if (cfg.cohort.rank() == 0) {
+    rt::PackBuffer b;
+    mine.pack(b);
+    cfg.channel.send(cfg.peer_ranks.at(0), tag, std::move(b).take());
+    bytes = cfg.channel.recv(cfg.peer_ranks.at(0), tag).payload;
+  }
+  bytes = cfg.cohort.bcast(std::move(bytes), 0);
+  rt::UnpackBuffer u(bytes);
+  return GlobalSegMap::unpack(u);
+}
+
+}  // namespace
+
+Router Router::build(RouterConfig cfg, const GlobalSegMap& mine,
+                     bool is_source) {
+  if (mine.gsize() <= 0) throw UsageError("empty GSMap");
+  Router r;
+  const int me = cfg.cohort.rank();
+  const GlobalSegMap peer_gsm = exchange_gsm(cfg, mine, cfg.tag);
+  if (peer_gsm.gsize() != mine.gsize())
+    throw UsageError("Router GSMaps must number the same grid (" +
+                     std::to_string(mine.gsize()) + " vs " +
+                     std::to_string(peer_gsm.gsize()) + " points)");
+
+  const auto my_foot = mine.footprint(me);
+  for (int p = 0; p < static_cast<int>(cfg.peer_ranks.size()); ++p) {
+    auto common = linear::intersect(my_foot, peer_gsm.footprint(p));
+    if (common.empty()) continue;
+    Peer peer;
+    peer.peer = p;
+    peer.elements = linear::total_length(common);
+    peer.segs = std::move(common);
+    r.peers_.push_back(std::move(peer));
+  }
+  r.prov_ = provenance(mine, me);
+  r.local_size_ = mine.local_size(me);
+  r.is_source_ = is_source;
+  r.cfg_ = std::move(cfg);
+  return r;
+}
+
+Router Router::source(RouterConfig cfg, const GlobalSegMap& mine) {
+  return build(std::move(cfg), mine, /*is_source=*/true);
+}
+
+Router Router::destination(RouterConfig cfg, const GlobalSegMap& mine) {
+  return build(std::move(cfg), mine, /*is_source=*/false);
+}
+
+void Router::send(const AttrVect& av) {
+  if (!is_source_) throw UsageError("send() on a destination Router");
+  if (av.length() != local_size_)
+    throw UsageError("AttrVect length does not match the GSMap");
+  const int nf = av.nfields();
+  for (const auto& peer : peers_) {
+    rt::PackBuffer b;
+    b.pack(nf);
+    b.pack(peer.elements);
+    std::vector<double> buf(static_cast<std::size_t>(peer.elements));
+    for (int f = 0; f < nf; ++f) {
+      sched::copy_segments<double>(prov_, peer.segs,
+                                   const_cast<double*>(av.field(f).data()),
+                                   buf.data(), /*pack=*/true);
+      b.pack_span(std::span<const double>(buf));
+    }
+    cfg_.channel.send(cfg_.peer_ranks.at(peer.peer), cfg_.tag + 1,
+                      std::move(b).take());
+  }
+}
+
+void Router::recv(AttrVect& av) {
+  if (is_source_) throw UsageError("recv() on a source Router");
+  if (av.length() != local_size_)
+    throw UsageError("AttrVect length does not match the GSMap");
+  for (const auto& peer : peers_) {
+    auto msg = cfg_.channel.recv(cfg_.peer_ranks.at(peer.peer), cfg_.tag + 1);
+    rt::UnpackBuffer u(msg.payload);
+    const int nf = u.unpack<int>();
+    const auto elements = u.unpack<Index>();
+    if (nf != av.nfields() || elements != peer.elements)
+      throw UsageError("Router message does not match the schedule");
+    for (int f = 0; f < nf; ++f) {
+      auto buf = u.unpack_vector<double>();
+      sched::copy_segments<double>(prov_, peer.segs, av.field(f).data(),
+                                   buf.data(), /*pack=*/false);
+    }
+  }
+}
+
+// ===========================================================================
+// Rearranger
+// ===========================================================================
+
+Rearranger::Rearranger(rt::Communicator cohort, const GlobalSegMap& src,
+                       const GlobalSegMap& dst, int tag)
+    : cohort_(std::move(cohort)), tag_(tag) {
+  if (src.gsize() != dst.gsize())
+    throw UsageError("Rearranger GSMaps must number the same grid");
+  const int me = cohort_.rank();
+  const auto src_foot = src.footprint(me);
+  const auto dst_foot = dst.footprint(me);
+  for (int p = 0; p < cohort_.size(); ++p) {
+    auto out = linear::intersect(src_foot, dst.footprint(p));
+    if (!out.empty()) {
+      Peer peer;
+      peer.peer = p;
+      peer.elements = linear::total_length(out);
+      peer.segs = std::move(out);
+      sends_.push_back(std::move(peer));
+    }
+    auto in = linear::intersect(src.footprint(p), dst_foot);
+    if (!in.empty()) {
+      Peer peer;
+      peer.peer = p;
+      peer.elements = linear::total_length(in);
+      peer.segs = std::move(in);
+      recvs_.push_back(std::move(peer));
+    }
+  }
+  src_prov_ = provenance(src, me);
+  dst_prov_ = provenance(dst, me);
+  src_size_ = src.local_size(me);
+  dst_size_ = dst.local_size(me);
+}
+
+void Rearranger::rearrange(const AttrVect& src_av, AttrVect& dst_av) {
+  if (src_av.length() != src_size_ || dst_av.length() != dst_size_)
+    throw UsageError("AttrVect lengths do not match the Rearranger GSMaps");
+  if (!src_av.same_schema(dst_av))
+    throw UsageError("Rearranger AttrVects must share a field schema");
+  const int nf = src_av.nfields();
+  for (const auto& peer : sends_) {
+    rt::PackBuffer b;
+    std::vector<double> buf(static_cast<std::size_t>(peer.elements));
+    for (int f = 0; f < nf; ++f) {
+      sched::copy_segments<double>(
+          src_prov_, peer.segs, const_cast<double*>(src_av.field(f).data()),
+          buf.data(), /*pack=*/true);
+      b.pack_span(std::span<const double>(buf));
+    }
+    cohort_.send(peer.peer, tag_, std::move(b).take());
+  }
+  for (const auto& peer : recvs_) {
+    auto msg = cohort_.recv(peer.peer, tag_);
+    rt::UnpackBuffer u(msg.payload);
+    for (int f = 0; f < nf; ++f) {
+      auto buf = u.unpack_vector<double>();
+      if (static_cast<Index>(buf.size()) != peer.elements)
+        throw UsageError("Rearranger message does not match the schedule");
+      sched::copy_segments<double>(dst_prov_, peer.segs,
+                                   dst_av.field(f).data(), buf.data(),
+                                   /*pack=*/false);
+    }
+  }
+}
+
+}  // namespace mxn::mct

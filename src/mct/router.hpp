@@ -1,0 +1,86 @@
+#pragma once
+
+#include "mct/attr_vect.hpp"
+#include "mct/global_seg_map.hpp"
+#include "rt/communicator.hpp"
+
+namespace mxn::mct {
+
+/// Binding of a Router to processes: a channel spanning both components and
+/// the channel ranks of each side.
+struct RouterConfig {
+  rt::Communicator channel;
+  rt::Communicator cohort;     // my component
+  std::vector<int> my_ranks;   // channel ranks, index == cohort rank
+  std::vector<int> peer_ranks;
+  int tag = 0;  // distinct tag per Router pair sharing a channel
+};
+
+/// MCT's intermodule communications scheduler (paper §4.5): moves AttrVect
+/// field data between two components decomposed by different GlobalSegMaps.
+/// Both sides construct their Router collectively (the GSMaps are swapped
+/// leader-to-leader and broadcast); the transfer schedule — which linear
+/// segments go to which peer — is computed once and reused by every
+/// send/recv.
+class Router {
+ public:
+  /// Source-side Router: this component exports.
+  static Router source(RouterConfig cfg, const GlobalSegMap& mine);
+
+  /// Destination-side Router: this component imports.
+  static Router destination(RouterConfig cfg, const GlobalSegMap& mine);
+
+  /// Export all fields of `av` (length must equal the local GSMap size).
+  /// Point-to-point, no barriers; safe to call before the peer posts recv.
+  void send(const AttrVect& av);
+
+  /// Import into `av`; blocks until all expected pieces arrive.
+  void recv(AttrVect& av);
+
+  [[nodiscard]] Index local_size() const { return local_size_; }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+ private:
+  Router() = default;
+  static Router build(RouterConfig cfg, const GlobalSegMap& mine,
+                      bool is_source);
+
+  struct Peer {
+    int peer = 0;  // peer cohort rank
+    std::vector<linear::Segment> segs;
+    Index elements = 0;
+  };
+
+  RouterConfig cfg_;
+  bool is_source_ = true;
+  Index local_size_ = 0;
+  std::vector<linear::ProvenancedSegment> prov_;  // my storage provenance
+  std::vector<Peer> peers_;
+};
+
+/// MCT's intramodule parallel data redistribution: moves an AttrVect from
+/// one decomposition to another within the same component (both GSMaps over
+/// the same cohort). Implemented as a self-coupled Router schedule with a
+/// local fast path for data that does not change owner.
+class Rearranger {
+ public:
+  Rearranger(rt::Communicator cohort, const GlobalSegMap& src,
+             const GlobalSegMap& dst, int tag);
+
+  void rearrange(const AttrVect& src_av, AttrVect& dst_av);
+
+ private:
+  struct Peer {
+    int peer = 0;
+    std::vector<linear::Segment> segs;
+    Index elements = 0;
+  };
+
+  rt::Communicator cohort_;
+  int tag_;
+  Index src_size_ = 0, dst_size_ = 0;
+  std::vector<linear::ProvenancedSegment> src_prov_, dst_prov_;
+  std::vector<Peer> sends_, recvs_;
+};
+
+}  // namespace mxn::mct

@@ -1,0 +1,139 @@
+#include "mct/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mxn::mct {
+
+using rt::UsageError;
+
+SparseMatrix::SparseMatrix(rt::Communicator cohort,
+                           const GlobalSegMap& row_map,
+                           const GlobalSegMap& col_map,
+                           std::vector<Element> elements, int tag)
+    : cohort_(std::move(cohort)),
+      tag_(tag),
+      elements_(std::move(elements)) {
+  const int me = cohort_.rank();
+  const int n = cohort_.size();
+  x_local_size_ = col_map.local_size(me);
+  y_local_size_ = row_map.local_size(me);
+
+  // Collect the distinct x columns we need, grouped by owner.
+  std::map<Index, Index> col_slot;  // global col -> slot (filled below)
+  std::vector<std::vector<Index>> need(n);  // per owner: global cols
+  for (const auto& e : elements_) {
+    if (row_map.owner(e.row) != me)
+      throw UsageError("sparse matrix element row not owned by this rank");
+    if (col_slot.emplace(e.col, -1).second) {
+      const int owner = col_map.owner(e.col);
+      if (owner != me) need[owner].push_back(e.col);
+    }
+  }
+  for (auto& v : need) std::sort(v.begin(), v.end());
+
+  // Assign slots: local x first, then halo entries grouped by peer in
+  // ascending column order (the order the owner will send them in).
+  for (auto& [col, slot] : col_slot) {
+    if (col_map.owner(col) == me) slot = col_map.local_index(me, col);
+  }
+  Index halo_base = x_local_size_;
+  for (int p = 0; p < n; ++p) {
+    if (need[p].empty()) continue;
+    HaloList h;
+    h.peer = p;
+    h.count = static_cast<Index>(need[p].size());
+    h.slot_base = halo_base;
+    for (std::size_t i = 0; i < need[p].size(); ++i)
+      col_slot[need[p][i]] = halo_base + static_cast<Index>(i);
+    halo_base += h.count;
+    halos_.push_back(h);
+  }
+  halo_total_ = static_cast<std::size_t>(halo_base - x_local_size_);
+
+  // Exchange the request lists: alltoall of needed global columns; the
+  // replies become our serve lists (converted to local x indices).
+  std::vector<std::vector<std::byte>> outgoing(n);
+  for (int p = 0; p < n; ++p) {
+    rt::PackBuffer b;
+    b.pack(need[p]);
+    outgoing[p] = std::move(b).take();
+  }
+  auto incoming = cohort_.alltoall(outgoing);
+  for (int p = 0; p < n; ++p) {
+    rt::UnpackBuffer u(incoming[p]);
+    auto cols = u.unpack_vector<Index>();
+    if (cols.empty()) continue;
+    ServeList s;
+    s.peer = p;
+    s.x_locals.reserve(cols.size());
+    for (Index c : cols) s.x_locals.push_back(col_map.local_index(me, c));
+    serves_.push_back(std::move(s));
+  }
+
+  // Compile elements against the slot table.
+  compiled_.reserve(elements_.size());
+  for (const auto& e : elements_) {
+    LocalElement le;
+    le.y_local = row_map.local_index(me, e.row);
+    le.x_slot = col_slot.at(e.col);
+    le.weight = e.weight;
+    compiled_.push_back(le);
+  }
+}
+
+void SparseMatrix::matvec(const AttrVect& x, AttrVect& y) const {
+  if (x.length() != x_local_size_)
+    throw UsageError("x length does not match the column GSMap");
+  if (y.length() != y_local_size_)
+    throw UsageError("y length does not match the row GSMap");
+  if (!x.same_schema(y))
+    throw UsageError("matvec AttrVects must share a field schema");
+  const int nf = x.nfields();
+
+  // Serve the peers that need our x entries (multi-field payload).
+  rt::Communicator cohort = cohort_;
+  for (const auto& s : serves_) {
+    rt::PackBuffer b;
+    std::vector<double> buf(s.x_locals.size());
+    for (int f = 0; f < nf; ++f) {
+      auto xf = x.field(f);
+      for (std::size_t i = 0; i < s.x_locals.size(); ++i)
+        buf[i] = xf[static_cast<std::size_t>(s.x_locals[i])];
+      b.pack_span(std::span<const double>(buf));
+    }
+    cohort.send(s.peer, tag_, std::move(b).take());
+  }
+
+  // Assemble [local x | halo] per field.
+  const std::size_t slots = static_cast<std::size_t>(x_local_size_) +
+                            halo_total_;
+  std::vector<std::vector<double>> xs(nf, std::vector<double>(slots));
+  for (int f = 0; f < nf; ++f) {
+    auto xf = x.field(f);
+    std::copy(xf.begin(), xf.end(), xs[f].begin());
+  }
+  for (const auto& h : halos_) {
+    auto msg = cohort.recv(h.peer, tag_);
+    rt::UnpackBuffer u(msg.payload);
+    for (int f = 0; f < nf; ++f) {
+      auto vals = u.unpack_vector<double>();
+      if (static_cast<Index>(vals.size()) != h.count)
+        throw UsageError("halo reply does not match the schedule");
+      std::copy(vals.begin(), vals.end(),
+                xs[f].begin() + static_cast<std::size_t>(h.slot_base));
+    }
+  }
+
+  // Multiply, field-major (cache friendly: one field at a time).
+  y.zero();
+  for (int f = 0; f < nf; ++f) {
+    auto yf = y.field(f);
+    const auto& xf = xs[f];
+    for (const auto& e : compiled_)
+      yf[static_cast<std::size_t>(e.y_local)] +=
+          e.weight * xf[static_cast<std::size_t>(e.x_slot)];
+  }
+}
+
+}  // namespace mxn::mct

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "mct/attr_vect.hpp"
+#include "mct/global_seg_map.hpp"
+#include "rt/communicator.hpp"
+
+namespace mxn::mct {
+
+/// MCT's distributed sparse interpolation matrix (paper §4.5): "a class
+/// encapsulating distributed sparse matrix elements and communication
+/// schedulers used in performing interpolation as parallel sparse
+/// matrix-vector multiplication in a multi-field, cache-friendly fashion."
+///
+/// y = A x, where x lives on the source grid's numbering (col_map) and y on
+/// the destination grid's (row_map). Elements are distributed by row: each
+/// rank holds the elements whose rows it owns under row_map. The halo
+/// schedule — which remote x entries this rank needs and which local x
+/// entries it must serve to others — is built collectively at construction
+/// and reused by every matvec.
+class SparseMatrix {
+ public:
+  struct Element {
+    Index row = 0;
+    Index col = 0;
+    double weight = 0.0;
+  };
+
+  /// Collective over `cohort`. `elements` are this rank's rows only.
+  SparseMatrix(rt::Communicator cohort, const GlobalSegMap& row_map,
+               const GlobalSegMap& col_map, std::vector<Element> elements,
+               int tag);
+
+  /// y[f][row] = sum_cols weight * x[f][col], for every field. Collective.
+  void matvec(const AttrVect& x, AttrVect& y) const;
+
+  [[nodiscard]] std::size_t local_nnz() const { return elements_.size(); }
+  /// Remote x entries fetched per matvec (halo size).
+  [[nodiscard]] std::size_t halo_size() const { return halo_total_; }
+
+ private:
+  rt::Communicator cohort_;
+  int tag_;
+  Index x_local_size_ = 0;
+  Index y_local_size_ = 0;
+
+  struct LocalElement {
+    Index y_local = 0;  // local row index
+    Index x_slot = 0;   // index into the assembled [local x | halo] vector
+    double weight = 0.0;
+  };
+  std::vector<Element> elements_;
+  std::vector<LocalElement> compiled_;
+
+  // Halo schedule: which local x indices each peer wants from us, and how
+  // many halo values we receive from each peer.
+  struct ServeList {
+    int peer = 0;
+    std::vector<Index> x_locals;
+  };
+  std::vector<ServeList> serves_;
+  struct HaloList {
+    int peer = 0;
+    Index count = 0;
+    Index slot_base = 0;  // first slot in the halo section
+  };
+  std::vector<HaloList> halos_;
+  std::size_t halo_total_ = 0;
+};
+
+}  // namespace mxn::mct

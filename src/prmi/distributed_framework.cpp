@@ -1,0 +1,813 @@
+#include "prmi/distributed_framework.hpp"
+
+#include <algorithm>
+
+#include "core/erased_exec.hpp"
+
+namespace mxn::prmi {
+
+using rt::UsageError;
+using sidl::Mode;
+
+namespace {
+
+bool takes_input(Mode m) { return m != Mode::Out; }
+bool yields_output(Mode m) { return m != Mode::In; }
+
+/// Indices of the parallel parameters of a method, in signature order.
+std::vector<int> parallel_params(const sidl::Method& m) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < m.params.size(); ++i)
+    if (m.params[i].type.parallel) out.push_back(static_cast<int>(i));
+  if (static_cast<int>(out.size()) > kMaxParallelParams)
+    throw UsageError("too many parallel parameters in method '" + m.name +
+                     "'");
+  return out;
+}
+
+// Kinds carried on a connection's return-tag stream: ordinary returns and
+// mid-call pull requests for deferred parallel parameters (§2.4, second
+// strategy).
+enum class ReplyKind : std::uint8_t { Return = 0, Pull = 1 };
+
+// Per-parallel-parameter layout flags in the layout reply.
+enum class LayoutKind : std::uint8_t { Registered = 0, Deferred = 1 };
+
+sched::Coupling make_coupling(rt::Communicator world,
+                              const std::vector<int>& src,
+                              const std::vector<int>& dst) {
+  sched::Coupling c;
+  c.channel = std::move(world);
+  c.src_ranks = src;
+  c.dst_ranks = dst;
+  return c;
+}
+
+}  // namespace
+
+// ===========================================================================
+// DistributedFramework
+// ===========================================================================
+
+DistributedFramework::DistributedFramework(rt::Communicator world)
+    : world_(std::move(world)) {}
+
+DistributedFramework::ComponentInfo& DistributedFramework::comp(
+    const std::string& name) {
+  auto it = comps_.find(name);
+  if (it == comps_.end())
+    throw UsageError("no component named '" + name + "'");
+  return it->second;
+}
+
+const DistributedFramework::ComponentInfo& DistributedFramework::comp(
+    const std::string& name) const {
+  auto it = comps_.find(name);
+  if (it == comps_.end())
+    throw UsageError("no component named '" + name + "'");
+  return it->second;
+}
+
+void DistributedFramework::instantiate(const std::string& name,
+                                       std::vector<int> world_ranks) {
+  if (comps_.count(name))
+    throw UsageError("component '" + name + "' already instantiated");
+  if (world_ranks.empty())
+    throw UsageError("component needs at least one process");
+  for (int r : world_ranks)
+    if (r < 0 || r >= world_.size())
+      throw UsageError("component rank out of world range");
+
+  const bool member = std::find(world_ranks.begin(), world_ranks.end(),
+                                world_.rank()) != world_ranks.end();
+  // Key the split so cohort rank order follows the world_ranks list order.
+  int key = 0;
+  if (member) {
+    key = static_cast<int>(std::find(world_ranks.begin(), world_ranks.end(),
+                                     world_.rank()) -
+                           world_ranks.begin());
+  }
+  auto cohort = world_.split(member ? 0 : rt::kUndefinedColor, key);
+
+  ComponentInfo info;
+  info.index = next_comp_index_++;
+  info.ranks = std::move(world_ranks);
+  info.cohort = std::move(cohort);
+  comps_[name] = std::move(info);
+}
+
+bool DistributedFramework::member_of(const std::string& name) const {
+  const auto& c = comp(name);
+  return std::find(c.ranks.begin(), c.ranks.end(), world_.rank()) !=
+         c.ranks.end();
+}
+
+rt::Communicator DistributedFramework::cohort(const std::string& name) const {
+  return comp(name).cohort;
+}
+
+void DistributedFramework::add_provides(const std::string& comp_name,
+                                        const std::string& port,
+                                        std::shared_ptr<Servant> servant) {
+  if (!servant) throw UsageError("servant must not be null");
+  auto& c = comp(comp_name);
+  if (!member_of(comp_name))
+    throw UsageError("add_provides: this process is not a member of '" +
+                     comp_name + "'");
+  if (c.provides.count(port))
+    throw UsageError("component '" + comp_name +
+                     "' already provides port '" + port + "'");
+  c.provides[port] = std::move(servant);
+}
+
+void DistributedFramework::register_uses(const std::string& comp_name,
+                                         const std::string& port,
+                                         sidl::Interface iface) {
+  auto& c = comp(comp_name);
+  if (!member_of(comp_name))
+    throw UsageError("register_uses: this process is not a member of '" +
+                     comp_name + "'");
+  if (c.uses.count(port))
+    throw UsageError("component '" + comp_name + "' already uses port '" +
+                     port + "'");
+  c.uses[port] = std::move(iface);
+}
+
+void DistributedFramework::connect(const std::string& user_comp,
+                                   const std::string& uses_port,
+                                   const std::string& prov_comp,
+                                   const std::string& prov_port) {
+  auto& uc = comp(user_comp);
+  auto& pc = comp(prov_comp);
+
+  // The provider's first rank broadcasts the qualified interface name so the
+  // user side can verify the connection is type-correct.
+  rt::PackBuffer b;
+  if (world_.rank() == pc.ranks[0]) {
+    auto it = pc.provides.find(prov_port);
+    if (it == pc.provides.end())
+      throw UsageError("component '" + prov_comp +
+                       "' does not provide port '" + prov_port + "'");
+    b.pack(it->second->interface_desc().qualified);
+  }
+  auto bytes = world_.bcast(std::move(b).take(), pc.ranks[0]);
+  rt::UnpackBuffer u(bytes);
+  const std::string qname = u.unpack_string();
+
+  if (member_of(prov_comp) && !pc.provides.count(prov_port))
+    throw UsageError("component '" + prov_comp +
+                     "' does not provide port '" + prov_port + "'");
+
+  if (member_of(user_comp)) {
+    auto it = uc.uses.find(uses_port);
+    if (it == uc.uses.end())
+      throw UsageError("component '" + user_comp + "' has no uses port '" +
+                       uses_port + "'");
+    if (it->second.qualified != qname)
+      throw UsageError("interface mismatch: uses port expects '" +
+                       it->second.qualified + "', provider implements '" +
+                       qname + "'");
+  }
+
+  ConnectionInfo ci;
+  ci.id = next_conn_id_++;
+  ci.user_comp = user_comp;
+  ci.uses_port = uses_port;
+  ci.prov_comp = prov_comp;
+  ci.prov_port = prov_port;
+  ci.caller_ranks = uc.ranks;
+  ci.callee_ranks = pc.ranks;
+  ci.listen = listen_tag(pc.index);
+  const int id = ci.id;
+  conns_[id] = std::move(ci);
+  if (member_of(user_comp)) uses_conn_[user_comp + "." + uses_port] = id;
+}
+
+std::shared_ptr<RemotePort> DistributedFramework::get_port(
+    const std::string& comp_name, const std::string& uses_port) {
+  auto it = uses_conn_.find(comp_name + "." + uses_port);
+  if (it == uses_conn_.end())
+    throw UsageError("uses port '" + comp_name + "." + uses_port +
+                     "' is not connected");
+  auto& c = comp(comp_name);
+  const sidl::Interface& iface = c.uses.at(uses_port);
+  auto key = comp_name + "." + uses_port;
+  auto pit = proxies_.find(key);
+  if (pit != proxies_.end()) return pit->second;
+  auto proxy = std::shared_ptr<RemotePort>(
+      new RemotePort(this, it->second, iface, c.cohort));
+  proxies_[key] = proxy;
+  return proxy;
+}
+
+int DistributedFramework::serve(const std::string& comp_name, int max_calls) {
+  auto& provider = comp(comp_name);
+  if (!member_of(comp_name))
+    throw UsageError("serve: this process is not a member of '" + comp_name +
+                     "'");
+  int served = 0;
+  bool shutdown = false;
+  while (!shutdown && (max_calls < 0 || served < max_calls)) {
+    rt::Message msg =
+        world_.recv(rt::kAnySource, listen_tag(provider.index));
+    if (dispatch(provider, std::move(msg), &shutdown)) ++served;
+  }
+  return served;
+}
+
+int DistributedFramework::serve_ordered(const std::string& comp_name,
+                                        int max_calls) {
+  auto& provider = comp(comp_name);
+  if (!member_of(comp_name))
+    throw UsageError("serve_ordered: this process is not a member of '" +
+                     comp_name + "'");
+  rt::Communicator cohort = provider.cohort;
+  const int tag = listen_tag(provider.index);
+  int served = 0;
+
+  // Control block broadcast by the arbiter per decision.
+  enum class Ctl : std::uint8_t { Stop, Go };
+
+  while (max_calls < 0 || served < max_calls) {
+    std::vector<std::byte> ctl_bytes;
+    rt::Message my_header;  // rank 0's own header for the announced call
+
+    if (cohort.rank() == 0) {
+      // Arbiter: pull the next listen-tag message; its arrival order IS the
+      // global order.
+      bool announced = false;
+      while (!announced) {
+        rt::Message msg = world_.recv(rt::kAnySource, tag);
+        rt::UnpackBuffer u(msg.payload);
+        const auto kind = static_cast<MsgKind>(u.unpack<std::uint8_t>());
+        const int conn_id = u.unpack<int>();
+        auto& conn = conns_.at(conn_id);
+        Servant& servant = *provider.provides.at(conn.prov_port);
+        switch (kind) {
+          case MsgKind::LayoutRequest:
+            handle_layout_request(conn, servant, u, msg.src);
+            break;  // control traffic; keep looking
+          case MsgKind::Shutdown: {
+            rt::PackBuffer b;
+            b.pack(static_cast<std::uint8_t>(Ctl::Stop));
+            ctl_bytes = std::move(b).take();
+            announced = true;
+            break;
+          }
+          case MsgKind::InvokeIndependent:
+            throw UsageError(
+                "independent invocations cannot be globally ordered; use "
+                "serve() for ports with independent methods");
+          case MsgKind::Invoke: {
+            // Peek seq/method/participants to build the announcement.
+            (void)u.unpack<int>();  // seq
+            (void)u.unpack<int>();  // method
+            const auto participants = u.unpack_vector<int>();
+            rt::PackBuffer b;
+            b.pack(static_cast<std::uint8_t>(Ctl::Go));
+            b.pack(conn_id);
+            b.pack(participants);
+            ctl_bytes = std::move(b).take();
+            my_header = std::move(msg);
+            announced = true;
+            break;
+          }
+        }
+      }
+    }
+
+    ctl_bytes = cohort.bcast(std::move(ctl_bytes), 0);
+    rt::UnpackBuffer cu(ctl_bytes);
+    if (static_cast<Ctl>(cu.unpack<std::uint8_t>()) == Ctl::Stop) break;
+    const int conn_id = cu.unpack<int>();
+    const auto participants = cu.unpack_vector<int>();
+
+    rt::Message header;
+    if (cohort.rank() == 0) {
+      header = std::move(my_header);
+    } else {
+      // Pull OUR header for the announced call: from our designated caller,
+      // oldest Invoke on the announced connection (FIFO among matches keeps
+      // same-(conn, caller) streams in program order).
+      const int designated =
+          participants.at(cohort.rank() % participants.size());
+      header = world_.recv_matching(
+          designated, tag, [&](const rt::Message& m) {
+            rt::UnpackBuffer u(m.payload);
+            const auto kind = static_cast<MsgKind>(u.unpack<std::uint8_t>());
+            return kind == MsgKind::Invoke && u.unpack<int>() == conn_id;
+          });
+    }
+
+    rt::UnpackBuffer u(header.payload);
+    (void)u.unpack<std::uint8_t>();  // kind
+    (void)u.unpack<int>();           // conn
+    auto& conn = conns_.at(conn_id);
+    Servant& servant = *provider.provides.at(conn.prov_port);
+    handle_invoke(conn, servant, u, /*independent=*/false, header.src);
+    ++served;
+  }
+  return served;
+}
+
+bool DistributedFramework::dispatch(ComponentInfo& provider, rt::Message msg,
+                                    bool* shutdown) {
+  rt::UnpackBuffer u(msg.payload);
+  const auto kind = static_cast<MsgKind>(u.unpack<std::uint8_t>());
+  const int conn_id = u.unpack<int>();
+  auto cit = conns_.find(conn_id);
+  if (cit == conns_.end())
+    throw UsageError("message for unknown connection " +
+                     std::to_string(conn_id));
+  ConnectionInfo& conn = cit->second;
+  Servant& servant = *provider.provides.at(conn.prov_port);
+
+  switch (kind) {
+    case MsgKind::Invoke:
+      handle_invoke(conn, servant, u, /*independent=*/false, msg.src);
+      return true;
+    case MsgKind::InvokeIndependent:
+      handle_invoke(conn, servant, u, /*independent=*/true, msg.src);
+      return true;
+    case MsgKind::LayoutRequest:
+      handle_layout_request(conn, servant, u, msg.src);
+      return false;
+    case MsgKind::Shutdown:
+      *shutdown = true;
+      return false;
+  }
+  throw UsageError("corrupt PRMI header");
+}
+
+void DistributedFramework::handle_layout_request(ConnectionInfo& conn,
+                                                 Servant& servant,
+                                                 rt::UnpackBuffer& u,
+                                                 int src_world) {
+  const int midx = u.unpack<int>();
+  const auto& m = servant.interface_desc().methods.at(midx);
+  rt::PackBuffer reply;
+  std::string missing;
+  std::vector<const core::FieldRegistration*> targets;  // null => deferred
+  for (int p : parallel_params(m)) {
+    const auto* t = servant.parallel_target(m.name, m.params[p].name);
+    if (!t && yields_output(m.params[p].mode)) {
+      // Deferral only works for inputs: outputs must flow back before the
+      // call completes, so their layout must be known up front.
+      missing = m.params[p].name;
+      break;
+    }
+    targets.push_back(t);
+  }
+  if (!missing.empty()) {
+    reply.pack(static_cast<std::uint8_t>(CallStatus::Error));
+    reply.pack(std::string("no parallel target registered for out/inout "
+                           "parameter '" +
+                           missing + "' of method '" + m.name + "'"));
+  } else {
+    reply.pack(static_cast<std::uint8_t>(CallStatus::Ok));
+    for (const auto* t : targets) {
+      if (t) {
+        reply.pack(static_cast<std::uint8_t>(LayoutKind::Registered));
+        t->descriptor->pack(reply);
+      } else {
+        reply.pack(static_cast<std::uint8_t>(LayoutKind::Deferred));
+      }
+    }
+  }
+  world_.send(src_world, layout_reply_tag(conn.id), std::move(reply).take());
+}
+
+void DistributedFramework::handle_invoke(ConnectionInfo& conn,
+                                         Servant& servant,
+                                         rt::UnpackBuffer& u,
+                                         bool independent, int src_world) {
+  const int seq = u.unpack<int>();
+  const int midx = u.unpack<int>();
+  const auto participants = u.unpack_vector<int>();
+  const auto& iface = servant.interface_desc();
+  const auto& m = iface.methods.at(midx);
+
+  // Per-(connection, source) invocation-order guarantee. Sequence numbers
+  // must be strictly increasing; gaps are legal because a caller's counter
+  // advances on every call even when the routing (M != N, independent
+  // targets) sends it no header for some of them.
+  int& last = conn.last_seq[src_world];
+  if (seq <= last)
+    throw UsageError("out-of-order invocation on connection " +
+                     std::to_string(conn.id) + ": seq " +
+                     std::to_string(seq) + " after " + std::to_string(last));
+  last = seq;
+
+  auto& provider = comp(conn.prov_comp);
+  const int j = provider.cohort.rank();
+  const int caller_count = static_cast<int>(participants.size());
+
+  // Unpack simple input arguments.
+  std::vector<Value> args(m.params.size());
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    const auto& p = m.params[i];
+    if (!p.type.parallel && takes_input(p.mode))
+      args[i] = unpack_value(u, p.type);
+  }
+  // Caller-side descriptors of the parallel parameters.
+  const auto pidx = parallel_params(m);
+  std::vector<dad::DescriptorPtr> caller_descs;
+  caller_descs.reserve(pidx.size());
+  for (std::size_t k = 0; k < pidx.size(); ++k)
+    caller_descs.push_back(std::make_shared<const dad::Descriptor>(
+        dad::Descriptor::unpack(u)));
+
+  auto coupling_in = make_coupling(world_, participants, conn.callee_ranks);
+
+  // Redistribute parallel inputs into the pre-registered targets; inputs
+  // without a target are DEFERRED — the handler pulls them when it has
+  // decided the layout (§2.4, second strategy).
+  std::vector<const core::FieldRegistration*> targets(pidx.size(), nullptr);
+  std::vector<bool> deferred(pidx.size(), false);
+  for (std::size_t k = 0; k < pidx.size(); ++k) {
+    const auto& p = m.params[pidx[k]];
+    targets[k] = servant.parallel_target(m.name, p.name);
+    if (!targets[k]) {
+      if (yields_output(p.mode))
+        throw UsageError("no parallel target for out/inout '" + p.name +
+                         "' of '" + m.name + "'");
+      deferred[k] = true;
+      continue;  // args slot stays empty until pulled
+    }
+    if (takes_input(p.mode)) {
+      const auto& s = cache_.get(caller_descs[k], targets[k]->descriptor,
+                                 -1, j);
+      core::execute_erased(s, nullptr, targets[k], coupling_in,
+                           data_in_tag(conn.id, static_cast<int>(k)));
+    }
+    args[pidx[k]] = ParallelRef{targets[k]};
+  }
+
+  // Run the handler on this cohort rank.
+  CalleeContext ctx;
+  ctx.cohort = provider.cohort;
+  ctx.caller_count = caller_count;
+  ctx.collective = !independent;
+  ctx.seq = seq;
+  ctx.pull = [&](int param_index, const core::FieldRegistration& target) {
+    if (m.oneway)
+      throw UsageError("oneway handlers cannot pull deferred parameters");
+    int k = -1;
+    for (std::size_t i2 = 0; i2 < pidx.size(); ++i2)
+      if (pidx[i2] == param_index) k = static_cast<int>(i2);
+    if (k < 0 || !deferred[k])
+      throw UsageError("pull: parameter " + std::to_string(param_index) +
+                       " of '" + m.name + "' is not a deferred parallel "
+                       "input");
+    if (!target.descriptor || !target.inject)
+      throw UsageError("pull target needs a descriptor and write access");
+    // The cohort leader asks every participant to send; all ranks receive
+    // their share.
+    if (j == 0) {
+      rt::PackBuffer b;
+      b.pack(static_cast<std::uint8_t>(ReplyKind::Pull));
+      b.pack(k);
+      target.descriptor->pack(b);
+      const auto bytes = std::move(b).take();
+      for (int pw : participants)
+        world_.send(pw, return_tag(conn.id), bytes);
+    }
+    const auto& s =
+        cache_.get(caller_descs[k], target.descriptor, -1, j);
+    core::execute_erased(s, nullptr, &target, coupling_in,
+                         data_in_tag(conn.id, k));
+  };
+
+  Value ret;
+  CallStatus status = CallStatus::Ok;
+  std::string error;
+  try {
+    ret = servant.handler(m.name)(ctx, args);
+  } catch (const std::exception& e) {
+    status = CallStatus::Error;
+    error = e.what();
+  }
+
+  if (m.oneway) return;
+
+  // Return values: independent calls answer their single caller; collective
+  // calls answer the caller ranks mapped to this callee (replicating the
+  // return when M > N — every caller receives a value, §4.2).
+  rt::PackBuffer reply;
+  reply.pack(static_cast<std::uint8_t>(ReplyKind::Return));
+  reply.pack(static_cast<std::uint8_t>(status));
+  reply.pack(seq);
+  if (status == CallStatus::Ok) {
+    if (m.ret.kind != sidl::TypeKind::Void) pack_value(reply, ret, m.ret);
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      const auto& p = m.params[i];
+      if (!p.type.parallel && yields_output(p.mode))
+        pack_value(reply, args[i], p.type);
+    }
+  } else {
+    reply.pack(error);
+  }
+  const auto reply_bytes = std::move(reply).take();
+
+  if (independent) {
+    world_.send(src_world, return_tag(conn.id), reply_bytes);
+  } else {
+    const int n = static_cast<int>(conn.callee_ranks.size());
+    for (int i = j; i < caller_count; i += n)
+      world_.send(participants[i], return_tag(conn.id), reply_bytes);
+  }
+
+  // Parallel outputs flow back, roles reversed.
+  if (status == CallStatus::Ok && !independent) {
+    auto coupling_out =
+        make_coupling(world_, conn.callee_ranks, participants);
+    for (std::size_t k = 0; k < pidx.size(); ++k) {
+      const auto& p = m.params[pidx[k]];
+      if (!yields_output(p.mode)) continue;
+      const auto& s = cache_.get(targets[k]->descriptor, caller_descs[k], j,
+                                 -1);
+      core::execute_erased(s, targets[k], nullptr, coupling_out,
+                           data_out_tag(conn.id, static_cast<int>(k)));
+    }
+  }
+}
+
+// ===========================================================================
+// RemotePort
+// ===========================================================================
+
+RemotePort::RemotePort(DistributedFramework* fw, int conn,
+                       sidl::Interface iface, rt::Communicator cohort)
+    : fw_(fw), conn_(conn), iface_(std::move(iface)),
+      cohort_(std::move(cohort)) {
+  participants_world_ = fw_->conns_.at(conn_).caller_ranks;
+}
+
+std::shared_ptr<RemotePort> RemotePort::subset(
+    const std::vector<int>& cohort_ranks) {
+  const int me = cohort_.rank();
+  int key = 0;
+  bool member = false;
+  std::vector<int> world;
+  world.reserve(cohort_ranks.size());
+  for (std::size_t i = 0; i < cohort_ranks.size(); ++i) {
+    const int r = cohort_ranks[i];
+    if (r < 0 || r >= cohort_.size())
+      throw UsageError("subset rank out of cohort range");
+    world.push_back(participants_world_.at(r));
+    if (r == me) {
+      member = true;
+      key = static_cast<int>(i);
+    }
+  }
+  auto sub = cohort_.split(member ? 0 : rt::kUndefinedColor, key);
+  if (!member) return nullptr;
+  auto proxy = std::shared_ptr<RemotePort>(
+      new RemotePort(fw_, conn_, iface_, std::move(sub)));
+  proxy->participants_world_ = std::move(world);
+  proxy->seq_ = seq_;  // share per-connection monotonic sequence numbers
+  proxy->check_simple_ = check_simple_;
+  return proxy;
+}
+
+const std::vector<std::optional<dad::DescriptorPtr>>& RemotePort::layouts(
+    int method_idx, const sidl::Method& m) {
+  auto it = layout_cache_.find(method_idx);
+  if (it != layout_cache_.end()) return it->second;
+
+  auto& conn = fw_->conns_.at(conn_);
+  std::vector<std::byte> bytes;
+  if (cohort_.rank() == 0) {
+    rt::PackBuffer b;
+    b.pack(static_cast<std::uint8_t>(MsgKind::LayoutRequest));
+    b.pack(conn_);
+    b.pack(method_idx);
+    fw_->world_.send(conn.callee_ranks[0], conn.listen, std::move(b).take());
+    bytes = fw_->world_.recv(conn.callee_ranks[0], layout_reply_tag(conn_))
+                .payload;
+  }
+  bytes = cohort_.bcast(std::move(bytes), 0);
+  rt::UnpackBuffer u(bytes);
+  const auto status = static_cast<CallStatus>(u.unpack<std::uint8_t>());
+  if (status == CallStatus::Error) throw RemoteError(u.unpack_string());
+  std::vector<std::optional<dad::DescriptorPtr>> descs;
+  for (std::size_t k = 0; k < parallel_params(m).size(); ++k) {
+    if (static_cast<LayoutKind>(u.unpack<std::uint8_t>()) ==
+        LayoutKind::Deferred) {
+      descs.push_back(std::nullopt);
+    } else {
+      descs.push_back(std::make_shared<const dad::Descriptor>(
+          dad::Descriptor::unpack(u)));
+    }
+  }
+  return layout_cache_[method_idx] = std::move(descs);
+}
+
+RemotePort::Result RemotePort::invoke(MsgKind kind,
+                                      const std::string& method_name,
+                                      std::vector<Value> args,
+                                      bool oneway_call, int target) {
+  auto& conn = fw_->conns_.at(conn_);
+  const int midx = iface_.method_index(method_name);
+  const auto& m = iface_.methods[midx];
+  const int caller_count = static_cast<int>(participants_world_.size());
+  const int callee_count = static_cast<int>(conn.callee_ranks.size());
+  const int my = cohort_.rank();  // participant index
+  const bool independent = kind == MsgKind::InvokeIndependent;
+
+  if (args.size() != m.params.size())
+    throw UsageError("method '" + method_name + "' takes " +
+                     std::to_string(m.params.size()) + " arguments, got " +
+                     std::to_string(args.size()));
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    const auto& p = m.params[i];
+    if (!p.type.parallel && p.mode == Mode::Out) continue;  // slot
+    if (!conforms(args[i], p.type))
+      throw TypeMismatch("argument '" + p.name + "' of '" + method_name +
+                         "' does not match " + p.type.to_string());
+  }
+
+  // Optional enforcement of the simple-argument convention (§2.4).
+  if (check_simple_ && !independent) {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      const auto& p = m.params[i];
+      if (!p.type.parallel && takes_input(p.mode))
+        h = h * 31 + value_hash(args[i], p.type);
+    }
+    const auto lo = cohort_.allreduce(
+        h, [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+    const auto hi = cohort_.allreduce(
+        h, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    if (lo != hi)
+      throw UsageError("simple arguments of '" + method_name +
+                       "' differ across caller ranks");
+  }
+
+  const auto pidx = parallel_params(m);
+  const std::vector<std::optional<dad::DescriptorPtr>>* callee_layouts =
+      nullptr;
+  bool any_deferred = false;
+  if (!pidx.empty()) {
+    callee_layouts = &layouts(midx, m);
+    for (const auto& d : *callee_layouts) any_deferred = any_deferred || !d;
+    if (any_deferred && oneway_call)
+      throw UsageError(
+          "oneway methods cannot take deferred parallel parameters (nobody "
+          "stays to serve the pull)");
+  }
+
+  const int seq = ++*seq_;
+
+  // Header. It carries the participants' world ranks: with subset
+  // participation the callee cannot derive them from static connection
+  // metadata ("any parallel remote invocation must somehow include
+  // sufficient information to identify the participating tasks", §2.4).
+  rt::PackBuffer b;
+  b.pack(static_cast<std::uint8_t>(kind));
+  b.pack(conn_);
+  b.pack(seq);
+  b.pack(midx);
+  b.pack(participants_world_);
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    const auto& p = m.params[i];
+    if (!p.type.parallel && takes_input(p.mode))
+      pack_value(b, args[i], p.type);
+  }
+  for (int p : pidx)
+    std::get<ParallelRef>(args[p]).binding->descriptor->pack(b);
+  const auto header = std::move(b).take();
+
+  if (independent) {
+    if (target < 0) target = my % callee_count;
+    if (target >= callee_count)
+      throw UsageError("independent call target rank out of range");
+    fw_->world_.send(conn.callee_ranks[target], conn.listen, header);
+  } else {
+    for (int j = my; j < callee_count; j += caller_count)
+      fw_->world_.send(conn.callee_ranks[j], conn.listen, header);
+  }
+
+  // Parallel inputs.
+  if (!pidx.empty()) {
+    auto coupling =
+        make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
+    for (std::size_t k = 0; k < pidx.size(); ++k) {
+      const auto& p = m.params[pidx[k]];
+      if (!takes_input(p.mode)) continue;
+      if (!(*callee_layouts)[k]) continue;  // deferred: pulled mid-call
+      const auto* binding = std::get<ParallelRef>(args[pidx[k]]).binding;
+      const auto& s = fw_->cache_.get(binding->descriptor,
+                                      *(*callee_layouts)[k], my, -1);
+      core::execute_erased(s, binding, nullptr, coupling,
+                           data_in_tag(conn_, static_cast<int>(k)));
+    }
+  }
+
+  if (oneway_call) return {};
+
+  // Park on the reply stream: serve any mid-call pull requests for
+  // deferred parameters, then take the return.
+  rt::Message msg;
+  while (true) {
+    msg = fw_->world_.recv(rt::kAnySource, return_tag(conn_));
+    rt::UnpackBuffer peek(msg.payload);
+    if (static_cast<ReplyKind>(peek.unpack<std::uint8_t>()) ==
+        ReplyKind::Return)
+      break;
+    // Pull request: {param index within the parallel list, dst descriptor}.
+    const int k = peek.unpack<int>();
+    auto dst_desc = std::make_shared<const dad::Descriptor>(
+        dad::Descriptor::unpack(peek));
+    const auto* binding = std::get<ParallelRef>(args[pidx.at(k)]).binding;
+    auto coupling =
+        make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
+    const auto& s =
+        fw_->cache_.get(binding->descriptor, dst_desc, my, -1);
+    core::execute_erased(s, binding, nullptr, coupling,
+                         data_in_tag(conn_, k));
+  }
+  rt::UnpackBuffer u(msg.payload);
+  (void)u.unpack<std::uint8_t>();  // ReplyKind::Return
+  const auto status = static_cast<CallStatus>(u.unpack<std::uint8_t>());
+  const int rseq = u.unpack<int>();
+  if (rseq != seq)
+    throw UsageError("return sequence mismatch on connection " +
+                     std::to_string(conn_));
+  if (status == CallStatus::Error) throw RemoteError(u.unpack_string());
+
+  Result result;
+  if (m.ret.kind != sidl::TypeKind::Void)
+    result.ret = unpack_value(u, m.ret);
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    const auto& p = m.params[i];
+    if (!p.type.parallel && yields_output(p.mode))
+      args[i] = unpack_value(u, p.type);
+  }
+
+  // Parallel outputs.
+  if (!pidx.empty() && !independent) {
+    auto coupling =
+        make_coupling(fw_->world_, conn.callee_ranks, participants_world_);
+    for (std::size_t k = 0; k < pidx.size(); ++k) {
+      const auto& p = m.params[pidx[k]];
+      if (!yields_output(p.mode)) continue;
+      const auto* binding = std::get<ParallelRef>(args[pidx[k]]).binding;
+      // Out/inout parallel params are always Registered (layout fetch
+      // enforces it), so the optional holds a descriptor here.
+      const auto& s = fw_->cache_.get(*(*callee_layouts)[k],
+                                      binding->descriptor, -1, my);
+      core::execute_erased(s, nullptr, binding, coupling,
+                           data_out_tag(conn_, static_cast<int>(k)));
+    }
+  }
+
+  result.args = std::move(args);
+  return result;
+}
+
+RemotePort::Result RemotePort::call(const std::string& method,
+                                    std::vector<Value> args) {
+  const auto& m = iface_.method(method);
+  if (m.kind != sidl::InvocationKind::Collective)
+    throw UsageError("method '" + method +
+                     "' is independent; use call_independent");
+  if (m.oneway)
+    throw UsageError("method '" + method + "' is oneway; use call_oneway");
+  return invoke(MsgKind::Invoke, method, std::move(args), false, -1);
+}
+
+void RemotePort::call_oneway(const std::string& method,
+                             std::vector<Value> args) {
+  const auto& m = iface_.method(method);
+  if (!m.oneway)
+    throw UsageError("method '" + method + "' is not oneway");
+  if (m.kind != sidl::InvocationKind::Collective)
+    throw UsageError("oneway independent methods use call_independent");
+  invoke(MsgKind::Invoke, method, std::move(args), true, -1);
+}
+
+RemotePort::Result RemotePort::call_independent(const std::string& method,
+                                                std::vector<Value> args,
+                                                int target) {
+  const auto& m = iface_.method(method);
+  if (m.kind != sidl::InvocationKind::Independent)
+    throw UsageError("method '" + method +
+                     "' is collective; use call / call_oneway");
+  return invoke(MsgKind::InvokeIndependent, method, std::move(args),
+                m.oneway, target);
+}
+
+void RemotePort::shutdown_provider() {
+  auto& conn = fw_->conns_.at(conn_);
+  const int caller_count = static_cast<int>(participants_world_.size());
+  const int callee_count = static_cast<int>(conn.callee_ranks.size());
+  rt::PackBuffer b;
+  b.pack(static_cast<std::uint8_t>(MsgKind::Shutdown));
+  b.pack(conn_);
+  const auto bytes = std::move(b).take();
+  for (int j = cohort_.rank(); j < callee_count; j += caller_count)
+    fw_->world_.send(conn.callee_ranks[j], conn.listen, bytes);
+}
+
+}  // namespace mxn::prmi

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prmi/protocol.hpp"
+#include "prmi/servant.hpp"
+#include "prmi/value.hpp"
+#include "rt/communicator.hpp"
+#include "sched/cache.hpp"
+
+namespace mxn::prmi {
+
+class RemotePort;
+
+/// A distributed CCA framework (paper §2.1, Figure 2 right): components run
+/// in disjoint sets of processes, port invocations become parallel remote
+/// method invocations with full argument marshalling, and all
+/// inter-component communication is M×N.
+///
+/// Operations marked "collective over the world" must be executed by every
+/// process of the world communicator in the same order (they establish
+/// globally consistent metadata: component membership, connection ids, tag
+/// assignments). Provider-/user-side operations run only on the respective
+/// cohort's processes.
+class DistributedFramework {
+ public:
+  explicit DistributedFramework(rt::Communicator world);
+
+  /// Collective over the world: declare a parallel component living on
+  /// `world_ranks` (cohort rank i == world_ranks[i]).
+  void instantiate(const std::string& name, std::vector<int> world_ranks);
+
+  [[nodiscard]] bool member_of(const std::string& name) const;
+
+  /// Cohort communicator of a component (null handle on non-members).
+  [[nodiscard]] rt::Communicator cohort(const std::string& name) const;
+
+  /// Provider side (cohort members only): attach a servant to a provides
+  /// port. Must precede connect().
+  void add_provides(const std::string& comp, const std::string& port,
+                    std::shared_ptr<Servant> servant);
+
+  /// User side (cohort members only): declare a uses port typed by a SIDL
+  /// interface (both sides are compiled from the same SIDL, so the user
+  /// carries its own copy of the descriptor). Must precede connect().
+  void register_uses(const std::string& comp, const std::string& port,
+                     sidl::Interface iface);
+
+  /// Collective over the world: connect a uses port to a provides port.
+  /// Validates that both ends implement the same qualified interface.
+  void connect(const std::string& user_comp, const std::string& uses_port,
+               const std::string& prov_comp, const std::string& prov_port);
+
+  /// User side: proxy for a connected uses port.
+  [[nodiscard]] std::shared_ptr<RemotePort> get_port(
+      const std::string& comp, const std::string& uses_port);
+
+  /// Provider side: process incoming invocations for `comp`. Counts only
+  /// real invocations (layout requests and shutdowns are serviced
+  /// transparently). With max_calls < 0, runs until a Shutdown notice
+  /// arrives. Returns the number of invocations served.
+  ///
+  /// Ordering guarantee: per connection and caller rank only. When several
+  /// clients call concurrently, different cohort ranks may service the
+  /// calls in different orders — the "parallel consistency" issue of §2.4.
+  int serve(const std::string& comp, int max_calls = -1);
+
+  /// Provider side, totally ordered: cohort rank 0 arbitrates — it picks
+  /// the next collective invocation by its own arrival order and announces
+  /// it to the cohort, so every rank services the same sequence even under
+  /// concurrent multi-client traffic ("enforcing synchronization between
+  /// the processes that participate in a collective call", §2.4). Costs one
+  /// cohort broadcast per call; independent (one-to-one) invocations are
+  /// not routable through an arbiter and are rejected.
+  int serve_ordered(const std::string& comp, int max_calls = -1);
+
+  [[nodiscard]] rt::Communicator world() const { return world_; }
+
+ private:
+  friend class RemotePort;
+
+  struct ComponentInfo {
+    int index = 0;
+    std::vector<int> ranks;       // world ranks; cohort rank == index
+    rt::Communicator cohort;      // null on non-members
+    std::map<std::string, std::shared_ptr<Servant>> provides;
+    std::map<std::string, sidl::Interface> uses;
+  };
+
+  struct ConnectionInfo {
+    int id = 0;
+    std::string user_comp, uses_port, prov_comp, prov_port;
+    std::vector<int> caller_ranks, callee_ranks;  // world ranks
+    int listen = 0;  // provider component's listen tag
+    // Provider-side per-source sequence tracking.
+    std::map<int, int> last_seq;
+  };
+
+  ComponentInfo& comp(const std::string& name);
+  const ComponentInfo& comp(const std::string& name) const;
+
+  /// Provider-side processing of one listen-tag message; returns true if it
+  /// was a real invocation, false for control traffic. Sets *shutdown when
+  /// a Shutdown notice was handled.
+  bool dispatch(ComponentInfo& provider, rt::Message msg, bool* shutdown);
+
+  void handle_invoke(ConnectionInfo& conn, Servant& servant,
+                     rt::UnpackBuffer& u, bool independent, int src_world);
+  void handle_layout_request(ConnectionInfo& conn, Servant& servant,
+                             rt::UnpackBuffer& u, int src_world);
+
+  rt::Communicator world_;
+  std::map<std::string, ComponentInfo> comps_;
+  std::map<int, ConnectionInfo> conns_;
+  // user "comp.port" -> connection id
+  std::map<std::string, int> uses_conn_;
+  // user "comp.port" -> proxy (one per uses port: the invocation sequence
+  // counter must be unique per connection)
+  std::map<std::string, std::shared_ptr<RemotePort>> proxies_;
+  sched::ScheduleCache cache_;
+  int next_comp_index_ = 0;
+  int next_conn_id_ = 0;
+};
+
+/// Caller-side proxy for a connected uses port. All methods validate the
+/// call against the SIDL signature. Collective calls must be made by every
+/// rank of the caller cohort ("the user of a collective method must
+/// guarantee that all participating caller processes make the invocation",
+/// §4.2); the framework guarantees every callee rank receives the call and
+/// every caller receives a return value, creating ghost invocations /
+/// replicated returns when M != N.
+class RemotePort {
+ public:
+  struct Result {
+    Value ret;
+    std::vector<Value> args;  // out/inout slots updated
+  };
+
+  /// Collective invocation (all-to-all).
+  Result call(const std::string& method, std::vector<Value> args);
+
+  /// One-way variant: returns as soon as local sends complete; no return
+  /// value, no completion wait (§2.4 "one-way methods").
+  void call_oneway(const std::string& method, std::vector<Value> args);
+
+  /// Independent (one-to-one) invocation from this caller rank to callee
+  /// rank `target` (default: caller_rank % N).
+  Result call_independent(const std::string& method, std::vector<Value> args,
+                          int target = -1);
+
+  /// Send a shutdown notice to the provider's serve loops (collective over
+  /// the caller cohort). Ordering caveat: the notice is FIFO-ordered only
+  /// against headers sent by the SAME caller rank. If subset proxies were
+  /// used — where a call's headers travel from different ranks than the
+  /// shutdown's — quiesce first (e.g. a caller-cohort barrier after the
+  /// last call returns) so the notice cannot overtake in-flight calls.
+  void shutdown_provider();
+
+  /// Enable/disable the same-value-on-all-ranks check for simple arguments
+  /// (§2.4: optional because it costs a cohort reduction per call).
+  void set_check_simple_args(bool on) { check_simple_ = on; }
+
+  /// Create a proxy through which only the given caller-cohort ranks
+  /// participate in collective calls — the run-time "sub-setting mechanism"
+  /// SCIRun2 engages "if the needs of a component change at run-time and
+  /// the choice of processes participating in a call needs to be modified"
+  /// (§4.2). Collective over the FULL caller cohort (it splits a
+  /// participant communicator); returns a null pointer on non-participant
+  /// ranks, which must not call through the subset proxy.
+  std::shared_ptr<RemotePort> subset(const std::vector<int>& cohort_ranks);
+
+  [[nodiscard]] const sidl::Interface& interface_desc() const {
+    return iface_;
+  }
+
+ private:
+  friend class DistributedFramework;
+
+  RemotePort(DistributedFramework* fw, int conn, sidl::Interface iface,
+             rt::Communicator cohort);
+
+  /// Participant communicator (== full cohort for a non-subset proxy) and
+  /// the participants' world ranks (index == participant index).
+  std::vector<int> participants_world_;
+
+  Result invoke(MsgKind kind, const std::string& method,
+                std::vector<Value> args, bool oneway_call, int target);
+
+  /// Fetch (and cache) the callee-side layouts of a method's parallel
+  /// parameters — one round trip by cohort rank 0, broadcast to the cohort.
+  /// A nullopt entry means the parameter is DEFERRED: no pre-registered
+  /// target; the callee pulls it mid-call (§2.4, second strategy).
+  const std::vector<std::optional<dad::DescriptorPtr>>& layouts(
+      int method_idx, const sidl::Method& m);
+
+  DistributedFramework* fw_;
+  int conn_;
+  sidl::Interface iface_;
+  rt::Communicator cohort_;
+  // Shared across a connection's proxies (parent + subsets): the provider
+  // checks per-source monotonicity.
+  std::shared_ptr<int> seq_ = std::make_shared<int>(0);
+  bool check_simple_ = false;
+  std::map<int, std::vector<std::optional<dad::DescriptorPtr>>> layout_cache_;
+};
+
+}  // namespace mxn::prmi

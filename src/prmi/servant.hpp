@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prmi/value.hpp"
+#include "rt/communicator.hpp"
+#include "sidl/types.hpp"
+
+namespace mxn::prmi {
+
+/// Information the framework hands a method handler at invocation time.
+struct CalleeContext {
+  rt::Communicator cohort;  // the callee component's cohort
+  int caller_count = 0;     // M, the caller cohort size
+  bool collective = true;   // false for independent (one-to-one) calls
+  int seq = 0;              // per-connection invocation sequence number
+
+  /// Pull a DEFERRED parallel `in` parameter into `target` — the second
+  /// §2.4 strategy: "pass to the provides side a reference to the data
+  /// object on the uses side, and delay the actual transfer of data until
+  /// the provides side has specified its layout." Available only for
+  /// parallel in-parameters without a pre-registered target; collective
+  /// over the callee cohort (every rank must pull the same parameters in
+  /// the same order, each with its own local target binding). The callers
+  /// are parked in the call serving pull requests until the return.
+  std::function<void(int param_index, const core::FieldRegistration& target)>
+      pull;
+};
+
+/// The provider-side implementation object behind a provides port: an SPMD
+/// object whose handlers run on every cohort rank for collective calls and
+/// on a single rank for independent calls.
+///
+/// Handlers receive the argument vector in signature order: simple in/inout
+/// values are populated; parallel parameters appear as ParallelRef onto the
+/// pre-registered target array, whose contents have already been
+/// redistributed into place for in/inout. Handlers write out/inout simple
+/// results back into `args` and return the method's return Value.
+class Servant {
+ public:
+  using Handler =
+      std::function<Value(CalleeContext&, std::vector<Value>& args)>;
+
+  explicit Servant(sidl::Interface iface) : iface_(std::move(iface)) {}
+
+  [[nodiscard]] const sidl::Interface& interface_desc() const {
+    return iface_;
+  }
+
+  /// Attach the implementation of a method. Throws if the method is not in
+  /// the interface.
+  void bind(const std::string& method, Handler h) {
+    (void)iface_.method(method);  // validates
+    handlers_[method] = std::move(h);
+  }
+
+  /// Pre-register the local target array for a parallel parameter — the
+  /// "specify the layout using a special framework service before the call
+  /// is received" strategy of §2.4. Must be done on every cohort rank
+  /// before the first call of `method` arrives.
+  void set_parallel_target(const std::string& method,
+                           const std::string& param,
+                           core::FieldRegistration binding) {
+    const auto& m = iface_.method(method);
+    for (const auto& p : m.params) {
+      if (p.name != param) continue;
+      if (!p.type.parallel)
+        throw rt::UsageError("parameter '" + param + "' of '" + method +
+                             "' is not parallel");
+      targets_[method + "." + param] =
+          std::make_shared<core::FieldRegistration>(std::move(binding));
+      return;
+    }
+    throw rt::UsageError("method '" + method + "' has no parameter '" +
+                         param + "'");
+  }
+
+  [[nodiscard]] const core::FieldRegistration* parallel_target(
+      const std::string& method, const std::string& param) const {
+    auto it = targets_.find(method + "." + param);
+    return it == targets_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] const Handler& handler(const std::string& method) const {
+    auto it = handlers_.find(method);
+    if (it == handlers_.end())
+      throw rt::UsageError("no handler bound for method '" + method + "'");
+    return it->second;
+  }
+
+ private:
+  sidl::Interface iface_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::shared_ptr<core::FieldRegistration>> targets_;
+};
+
+}  // namespace mxn::prmi

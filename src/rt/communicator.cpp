@@ -1,0 +1,228 @@
+#include "rt/communicator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mxn::rt {
+
+namespace {
+// Reserved (negative) tags for the collective implementations. Consecutive
+// collectives on the same communicator may reuse a tag: per-(src,tag) FIFO
+// delivery plus the MPI rule that all ranks issue collectives in the same
+// program order keeps them from interfering.
+constexpr int kTagBarrierUp = -2;
+constexpr int kTagBarrierDown = -3;
+constexpr int kTagBcast = -4;
+constexpr int kTagGather = -5;
+constexpr int kTagAlltoall = -6;
+}  // namespace
+
+namespace detail {
+
+CommState::CommState(Universe* u, std::vector<int> member_ids)
+    : uni(u), members(std::move(member_ids)) {
+  boxes.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    boxes.push_back(std::make_unique<Mailbox>(uni));
+  entries.resize(members.size());
+  results.resize(members.size());
+}
+
+}  // namespace detail
+
+void Communicator::check_dst(int dst) const {
+  if (dst < 0 || dst >= size())
+    throw UsageError("send: destination rank " + std::to_string(dst) +
+                     " out of range for communicator of size " +
+                     std::to_string(size()));
+}
+
+void Communicator::check_user_tag(int tag) const {
+  if (tag < 0)
+    throw UsageError("user message tags must be >= 0 (negative tags are "
+                     "reserved for collectives)");
+}
+
+void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
+  check_dst(dst);
+  st_->messages.fetch_add(1, std::memory_order_relaxed);
+  st_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
+  st_->uni->count_message(data.size());
+  st_->boxes[dst]->put(Message{rank_, tag, std::move(data)});
+}
+
+void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
+  check_user_tag(tag);
+  raw_send(dst, tag, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void Communicator::send(int dst, int tag, std::vector<std::byte> data) {
+  check_user_tag(tag);
+  raw_send(dst, tag, std::move(data));
+}
+
+Message Communicator::recv(int src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw UsageError("recv: source rank out of range");
+  return my_box().get(src, tag);
+}
+
+Message Communicator::recv_matching(
+    int src, int tag, const std::function<bool(const Message&)>& pred) {
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw UsageError("recv_matching: source rank out of range");
+  return my_box().get_if(src, tag, pred);
+}
+
+Request Communicator::isend(int dst, int tag, std::span<const std::byte> data) {
+  send(dst, tag, data);
+  return Request::completed_send();
+}
+
+Request Communicator::irecv(int src, int tag) {
+  return Request::pending_recv(&my_box(), src, tag);
+}
+
+bool Communicator::probe(int src, int tag) { return my_box().probe(src, tag); }
+
+std::optional<Message> Communicator::try_recv(int src, int tag) {
+  return my_box().try_get(src, tag);
+}
+
+void Communicator::barrier() {
+  // Gather-to-root then broadcast-release: 2(n-1) messages.
+  const int n = size();
+  if (n == 1) return;
+  if (rank_ == 0) {
+    for (int i = 1; i < n; ++i) my_box().get(kAnySource, kTagBarrierUp);
+    for (int i = 1; i < n; ++i) raw_send(i, kTagBarrierDown, {});
+  } else {
+    raw_send(0, kTagBarrierUp, {});
+    my_box().get(0, kTagBarrierDown);
+  }
+}
+
+std::vector<std::byte> Communicator::bcast(std::vector<std::byte> data,
+                                           int root) {
+  const int n = size();
+  if (n == 1) return data;
+  if (rank_ == root) {
+    for (int i = 0; i < n; ++i)
+      if (i != root) raw_send(i, kTagBcast, data);
+    return data;
+  }
+  return my_box().get(root, kTagBcast).payload;
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather(
+    std::span<const std::byte> data, int root) {
+  const int n = size();
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(n);
+    out[root].assign(data.begin(), data.end());
+    for (int i = 0; i < n - 1; ++i) {
+      Message m = my_box().get(kAnySource, kTagGather);
+      out[m.src] = std::move(m.payload);
+    }
+  } else {
+    raw_send(root, kTagGather,
+             std::vector<std::byte>(data.begin(), data.end()));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather(
+    std::span<const std::byte> data) {
+  auto parts = gather(data, 0);
+  // Broadcast the concatenation with a simple length-prefixed framing.
+  PackBuffer b;
+  if (rank_ == 0) {
+    for (auto& p : parts) b.pack(p);
+  }
+  auto bytes = bcast(std::move(b).take(), 0);
+  UnpackBuffer u(bytes);
+  std::vector<std::vector<std::byte>> out(size());
+  for (int i = 0; i < size(); ++i) out[i] = u.unpack_vector<std::byte>();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::alltoall(
+    const std::vector<std::vector<std::byte>>& outgoing) {
+  const int n = size();
+  if (static_cast<int>(outgoing.size()) != n)
+    throw UsageError("alltoall: outgoing must have one entry per rank");
+  for (int i = 0; i < n; ++i) raw_send(i, kTagAlltoall, outgoing[i]);
+  std::vector<std::vector<std::byte>> incoming(n);
+  for (int i = 0; i < n; ++i) {
+    Message m = my_box().get(kAnySource, kTagAlltoall);
+    incoming[m.src] = std::move(m.payload);
+  }
+  return incoming;
+}
+
+Communicator Communicator::split(int color, int key) {
+  auto& st = *st_;
+  Universe* uni = st.uni;
+  std::unique_lock lock(st.split_mu);
+
+  auto wait_until = [&](auto pred) {
+    if (pred()) return;
+    uni->block_enter();
+    while (!pred()) {
+      if (uni->aborted()) {
+        uni->block_exit();
+        throw AbortError("universe aborted while blocked in split");
+      }
+      if (uni->deadlocked()) {
+        uni->block_exit();
+        throw DeadlockError("deadlock detected while blocked in split");
+      }
+      st.split_cv.wait_for(lock, std::chrono::milliseconds(50));
+      uni->check_deadlock();
+    }
+    uni->block_exit();
+  };
+
+  using detail::CommState;
+  wait_until([&] { return st.phase == CommState::Phase::Arrive; });
+  st.entries[rank_] = {color, key};
+  if (++st.arrived == size()) {
+    // Last arriver computes the new communicators for every color.
+    std::map<int, std::vector<int>> groups;  // color -> ranks (in old comm)
+    for (int r = 0; r < size(); ++r) {
+      if (st.entries[r].color != kUndefinedColor)
+        groups[st.entries[r].color].push_back(r);
+    }
+    for (auto& r : st.results) r = {nullptr, -1};
+    for (auto& [c, ranks] : groups) {
+      std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
+        return st.entries[a].key < st.entries[b].key;
+      });
+      std::vector<int> member_ids;
+      member_ids.reserve(ranks.size());
+      for (int r : ranks) member_ids.push_back(st.members[r]);
+      auto child = std::make_shared<CommState>(uni, std::move(member_ids));
+      for (std::size_t i = 0; i < ranks.size(); ++i)
+        st.results[ranks[i]] = {child, static_cast<int>(i)};
+    }
+    st.phase = CommState::Phase::Pickup;
+    st.picked = 0;
+    st.split_cv.notify_all();
+  } else {
+    wait_until([&] { return st.phase == CommState::Phase::Pickup; });
+  }
+
+  auto [child, new_rank] = st.results[rank_];
+  if (++st.picked == size()) {
+    st.phase = CommState::Phase::Arrive;
+    st.arrived = 0;
+    st.split_cv.notify_all();
+  }
+  lock.unlock();
+
+  if (!child) return {};
+  return attach(std::move(child), new_rank);
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,228 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rt/error.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/message.hpp"
+#include "rt/request.hpp"
+#include "rt/serialize.hpp"
+#include "rt/universe.hpp"
+
+namespace mxn::rt {
+
+class Communicator;
+
+/// Returned by split() for ranks that pass kUndefinedColor.
+inline constexpr int kUndefinedColor = -1;
+
+namespace detail {
+
+/// Shared state of a communicator: the member list (as universe-global
+/// ids), one mailbox per member, per-communicator traffic counters and the
+/// rendezvous board used to implement split() collectively.
+struct CommState {
+  CommState(Universe* u, std::vector<int> member_ids);
+
+  Universe* uni;
+  std::vector<int> members;  // universe ids; index == rank in this comm
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+
+  // --- split rendezvous board ---------------------------------------------
+  enum class Phase { Arrive, Pickup };
+  struct SplitEntry {
+    int color = kUndefinedColor;
+    int key = 0;
+  };
+  std::mutex split_mu;
+  std::condition_variable split_cv;
+  Phase phase = Phase::Arrive;
+  int arrived = 0;
+  int picked = 0;
+  std::vector<SplitEntry> entries;
+  // Per-rank result: the new comm state (null for undefined color) + rank.
+  std::vector<std::pair<std::shared_ptr<CommState>, int>> results;
+};
+
+}  // namespace detail
+
+/// A rank's handle onto a communicator. Cheap to copy; all copies held by
+/// the same thread refer to the same rank. The API deliberately mirrors the
+/// MPI routines the CCA prototypes were built on: matched point-to-point
+/// send/recv with tags, non-blocking variants, and the collective set used
+/// by the redistribution and PRMI layers (barrier, bcast, gather, allgather,
+/// alltoall(v), reduce, split).
+///
+/// User code must use tags >= 0; negative tags are reserved for the
+/// collective implementations.
+class Communicator {
+ public:
+  Communicator() = default;  // null communicator
+
+  [[nodiscard]] bool is_null() const { return st_ == nullptr; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(st_->members.size()); }
+
+  /// Universe-global id of a member rank (used by distributed frameworks to
+  /// route between components living on disjoint rank sets).
+  [[nodiscard]] int world_rank(int r) const { return st_->members.at(r); }
+
+  [[nodiscard]] Universe* universe() const { return st_->uni; }
+
+  // --- point-to-point -------------------------------------------------------
+  void send(int dst, int tag, std::span<const std::byte> data);
+  void send(int dst, int tag, std::vector<std::byte> data);
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void send_span(int dst, int tag, std::span<const T> values) {
+    send(dst, tag, as_bytes_span(values));
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(int dst, int tag, const T& value) {
+    send(dst, tag, to_bytes(value));
+  }
+
+  /// Blocking matched receive; wildcards kAnySource / kAnyTag allowed.
+  Message recv(int src, int tag);
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> recv_vector(int src, int tag, int* actual_src = nullptr) {
+    Message m = recv(src, tag);
+    if (actual_src) *actual_src = m.src;
+    if (m.payload.size() % sizeof(T) != 0)
+      throw UsageError("recv_vector: payload size not a multiple of sizeof(T)");
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    return out;
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T recv_value(int src, int tag, int* actual_src = nullptr) {
+    Message m = recv(src, tag);
+    if (actual_src) *actual_src = m.src;
+    UnpackBuffer u(m.payload);
+    return u.unpack<T>();
+  }
+
+  Request isend(int dst, int tag, std::span<const std::byte> data);
+  Request irecv(int src, int tag);
+
+  /// Blocking receive matched on (src, tag) and a payload predicate — the
+  /// envelope-peek frameworks need to pull a specific logical message out
+  /// of a shared tag stream (MPI_Mprobe analogue).
+  Message recv_matching(int src, int tag,
+                        const std::function<bool(const Message&)>& pred);
+
+  /// Non-blocking probe for a matching queued message.
+  bool probe(int src, int tag);
+  /// Non-blocking matched receive.
+  std::optional<Message> try_recv(int src, int tag);
+
+  // --- collectives ----------------------------------------------------------
+  void barrier();
+
+  /// Root's payload is returned on every rank.
+  std::vector<std::byte> bcast(std::vector<std::byte> data, int root);
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T bcast_value(const T& value, int root) {
+    auto bytes = bcast(rank() == root ? to_bytes(value)
+                                      : std::vector<std::byte>{},
+                       root);
+    UnpackBuffer u(bytes);
+    return u.unpack<T>();
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> bcast_vector(std::vector<T> values, int root) {
+    PackBuffer b;
+    if (rank() == root) b.pack(values);
+    auto bytes = bcast(std::move(b).take(), root);
+    UnpackBuffer u(bytes);
+    return u.unpack_vector<T>();
+  }
+
+  /// Gather per-rank payloads at root. On root the result has size() entries
+  /// (index == source rank); on other ranks it is empty.
+  std::vector<std::vector<std::byte>> gather(std::span<const std::byte> data,
+                                             int root);
+
+  std::vector<std::vector<std::byte>> allgather(std::span<const std::byte> data);
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> allgather_value(const T& value) {
+    auto parts = allgather(to_bytes(value));
+    std::vector<T> out;
+    out.reserve(parts.size());
+    for (auto& p : parts) {
+      UnpackBuffer u(p);
+      out.push_back(u.unpack<T>());
+    }
+    return out;
+  }
+
+  /// Personalized all-to-all: outgoing[i] goes to rank i; the result's entry
+  /// j is what rank j sent to us. Naturally "v" — entries may differ in size.
+  std::vector<std::vector<std::byte>> alltoall(
+      const std::vector<std::vector<std::byte>>& outgoing);
+
+  template <class T, class BinaryOp>
+    requires std::is_trivially_copyable_v<T>
+  T allreduce(const T& value, BinaryOp op) {
+    auto all = allgather_value(value);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  // --- communicator management ----------------------------------------------
+  /// Collective. Ranks with equal color land in the same new communicator,
+  /// ordered by (key, old rank). Color kUndefinedColor yields a null handle.
+  Communicator split(int color, int key);
+
+  Communicator dup() { return split(0, rank()); }
+
+  [[nodiscard]] StatsSnapshot stats() const {
+    return {st_->messages.load(std::memory_order_relaxed),
+            st_->bytes.load(std::memory_order_relaxed)};
+  }
+
+  // Internal: used by spawn() to mint the world communicator.
+  static Communicator attach(std::shared_ptr<detail::CommState> st, int rank) {
+    Communicator c;
+    c.st_ = std::move(st);
+    c.rank_ = rank;
+    return c;
+  }
+
+ private:
+  void check_dst(int dst) const;
+  void check_user_tag(int tag) const;
+  void raw_send(int dst, int tag, std::vector<std::byte> data);
+  Mailbox& my_box() const { return *st_->boxes[rank_]; }
+
+  std::shared_ptr<detail::CommState> st_;
+  int rank_ = -1;
+};
+
+}  // namespace mxn::rt

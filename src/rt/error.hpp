@@ -1,0 +1,37 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mxn::rt {
+
+/// Base class for all runtime errors raised by the message-passing layer.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised in every blocked thread when the universe watchdog concludes that
+/// all threads are blocked with no message activity for longer than the
+/// configured timeout (see SpawnOptions::deadlock_timeout_ms).
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised in blocked sibling threads when another thread of the same spawn
+/// terminated with an exception; the originating exception is rethrown from
+/// spawn() itself.
+class AbortError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on malformed arguments (bad rank, negative user tag, size
+/// mismatches in collectives).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace mxn::rt

@@ -1,0 +1,115 @@
+#include "rt/mailbox.hpp"
+
+#include <chrono>
+
+#include "rt/error.hpp"
+
+namespace mxn::rt {
+
+Mailbox::Mailbox(Universe* uni) : uni_(uni) { uni_->register_mailbox(this); }
+
+Mailbox::~Mailbox() { uni_->unregister_mailbox(this); }
+
+void Mailbox::put(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    q_.push_back(std::move(msg));
+  }
+  uni_->note_activity();
+  cv_.notify_all();
+}
+
+int Mailbox::find_match(int src, int tag) const {
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    const Message& m = q_[i];
+    if ((src == kAnySource || m.src == src) &&
+        (tag == kAnyTag || m.tag == tag)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Message Mailbox::get(int src, int tag) {
+  std::unique_lock lock(mu_);
+  int idx = find_match(src, tag);
+  if (idx < 0) {
+    uni_->block_enter();
+    while (true) {
+      if (uni_->aborted()) {
+        uni_->block_exit();
+        throw AbortError("universe aborted while blocked in recv");
+      }
+      if (uni_->deadlocked()) {
+        uni_->block_exit();
+        throw DeadlockError("all processes blocked in matched receives");
+      }
+      idx = find_match(src, tag);
+      if (idx >= 0) break;
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      uni_->check_deadlock();
+    }
+    uni_->block_exit();
+  }
+  Message out = std::move(q_[idx]);
+  q_.erase(q_.begin() + idx);
+  return out;
+}
+
+int Mailbox::find_match_if(
+    int src, int tag,
+    const std::function<bool(const Message&)>& pred) const {
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    const Message& m = q_[i];
+    if ((src == kAnySource || m.src == src) &&
+        (tag == kAnyTag || m.tag == tag) && pred(m)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Message Mailbox::get_if(int src, int tag,
+                        const std::function<bool(const Message&)>& pred) {
+  std::unique_lock lock(mu_);
+  int idx = find_match_if(src, tag, pred);
+  if (idx < 0) {
+    uni_->block_enter();
+    while (true) {
+      if (uni_->aborted()) {
+        uni_->block_exit();
+        throw AbortError("universe aborted while blocked in recv");
+      }
+      if (uni_->deadlocked()) {
+        uni_->block_exit();
+        throw DeadlockError("all processes blocked in matched receives");
+      }
+      idx = find_match_if(src, tag, pred);
+      if (idx >= 0) break;
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      uni_->check_deadlock();
+    }
+    uni_->block_exit();
+  }
+  Message out = std::move(q_[idx]);
+  q_.erase(q_.begin() + idx);
+  return out;
+}
+
+std::optional<Message> Mailbox::try_get(int src, int tag) {
+  std::lock_guard lock(mu_);
+  const int idx = find_match(src, tag);
+  if (idx < 0) return std::nullopt;
+  Message out = std::move(q_[idx]);
+  q_.erase(q_.begin() + idx);
+  return out;
+}
+
+bool Mailbox::probe(int src, int tag) {
+  std::lock_guard lock(mu_);
+  return find_match(src, tag) >= 0;
+}
+
+void Mailbox::notify() { cv_.notify_all(); }
+
+}  // namespace mxn::rt

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "rt/message.hpp"
+#include "rt/universe.hpp"
+
+namespace mxn::rt {
+
+/// Per-rank, per-communicator inbox. Receives match on (source, tag) with
+/// wildcard support; messages from the same (source, tag) are delivered in
+/// FIFO order, which is what makes tag-reuse by consecutive collective
+/// operations safe (all ranks issue collectives in the same program order).
+class Mailbox {
+ public:
+  explicit Mailbox(Universe* uni);
+  ~Mailbox();
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message (called from the sending thread).
+  void put(Message msg);
+
+  /// Blocking matched receive. Throws AbortError if the universe aborted,
+  /// DeadlockError if the watchdog trips while we wait.
+  Message get(int src, int tag);
+
+  /// Non-blocking matched receive.
+  std::optional<Message> try_get(int src, int tag);
+
+  /// Blocking receive matched on (src, tag) AND an arbitrary payload
+  /// predicate — the MPI_Mprobe analogue frameworks use to peek envelopes
+  /// before committing to a message. Among matches, FIFO order holds.
+  Message get_if(int src, int tag,
+                 const std::function<bool(const Message&)>& pred);
+
+  /// Is there a matching message queued right now? (MPI_Iprobe analogue.)
+  bool probe(int src, int tag);
+
+  /// Wake any blocked waiter so it can re-check abort/deadlock flags.
+  void notify();
+
+ private:
+  // Must hold mu_. Returns index into q_ of the first match, or -1.
+  int find_match(int src, int tag) const;
+  int find_match_if(int src, int tag,
+                    const std::function<bool(const Message&)>& pred) const;
+
+  Universe* uni_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace mxn::rt

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mxn::rt {
+
+/// Wildcards for matched receives, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A message in flight: sender rank (within the communicator it was sent
+/// on), tag, and an owned payload. Payloads are copied at send time — the
+/// threads of a spawn model separate address spaces, exactly like MPI ranks
+/// on one node, so no sharing of live buffers is permitted.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace mxn::rt

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rt/mailbox.hpp"
+#include "rt/message.hpp"
+
+namespace mxn::rt {
+
+/// Handle for a non-blocking operation, in the spirit of MPI_Request.
+///
+/// Sends in this runtime are eager/buffered (the payload is copied into the
+/// destination mailbox at send time), so an isend's request is born complete.
+/// An irecv's request performs the matched receive lazily in wait()/test().
+class Request {
+ public:
+  Request() = default;
+
+  static Request completed_send() {
+    Request r;
+    r.st_ = std::make_shared<State>();
+    r.st_->done = true;
+    return r;
+  }
+
+  static Request pending_recv(Mailbox* box, int src, int tag) {
+    Request r;
+    r.st_ = std::make_shared<State>();
+    r.st_->box = box;
+    r.st_->src = src;
+    r.st_->tag = tag;
+    return r;
+  }
+
+  /// Block until complete. For receives, returns the matched message; for
+  /// sends, returns an empty message.
+  Message wait() {
+    if (!st_) return {};
+    if (!st_->done) {
+      st_->msg = st_->box->get(st_->src, st_->tag);
+      st_->done = true;
+    }
+    return std::move(st_->msg);
+  }
+
+  /// Poll for completion; on success moves the message into *out (receives).
+  bool test(Message* out = nullptr) {
+    if (!st_) return true;
+    if (!st_->done) {
+      auto m = st_->box->try_get(st_->src, st_->tag);
+      if (!m) return false;
+      st_->msg = std::move(*m);
+      st_->done = true;
+    }
+    if (out) *out = std::move(st_->msg);
+    return true;
+  }
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+ private:
+  struct State {
+    Mailbox* box = nullptr;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    bool done = false;
+    Message msg;
+  };
+  std::shared_ptr<State> st_;
+};
+
+/// Wait for every request; returns the messages in request order.
+inline std::vector<Message> wait_all(std::vector<Request>& reqs) {
+  std::vector<Message> out;
+  out.reserve(reqs.size());
+  for (auto& r : reqs) out.push_back(r.wait());
+  return out;
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,50 @@
+#include "rt/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "rt/error.hpp"
+#include "rt/universe.hpp"
+
+namespace mxn::rt {
+
+void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
+           const SpawnOptions& opts) {
+  if (nprocs <= 0) throw UsageError("spawn: nprocs must be positive");
+
+  auto uni = std::make_unique<Universe>(nprocs, opts.deadlock_timeout_ms);
+  std::vector<int> ids(nprocs);
+  std::iota(ids.begin(), ids.end(), 0);
+  auto world = std::make_shared<detail::CommState>(uni.get(), std::move(ids));
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm = Communicator::attach(world, r);
+      try {
+        fn(comm);
+      } catch (const AbortError&) {
+        // A sibling failed first; this thread was unwound deliberately.
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        uni->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <functional>
+
+#include "rt/communicator.hpp"
+
+namespace mxn::rt {
+
+/// Options controlling one spawn().
+struct SpawnOptions {
+  /// When > 0, the watchdog declares deadlock after all threads have been
+  /// blocked in matched receives with no message traffic for this long.
+  int deadlock_timeout_ms = 0;
+};
+
+/// Run `fn` on `nprocs` cooperating "processes" (threads with private
+/// mailboxes, exactly the communication structure of an MPI job on a single
+/// node — see DESIGN.md, Substitutions). Blocks until every process returns.
+///
+/// If any process throws, the universe aborts: siblings blocked in receives
+/// unwind with AbortError (which is swallowed) and the first real exception
+/// is rethrown from spawn() on the caller's thread.
+void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
+           const SpawnOptions& opts = {});
+
+}  // namespace mxn::rt

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "rt/error.hpp"
+
+namespace mxn::rt {
+
+/// Append-only byte buffer used to marshal method arguments and array data
+/// into a message payload. Components in a distributed framework never share
+/// address space, so everything that crosses a port is packed through here.
+class PackBuffer {
+ public:
+  PackBuffer() = default;
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void pack(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  void pack(const std::string& s) {
+    pack(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    data_.insert(data_.end(), p, p + s.size());
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void pack_span(std::span<const T> values) {
+    pack(static_cast<std::uint64_t>(values.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(values.data());
+    data_.insert(data_.end(), p, p + values.size_bytes());
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void pack(const std::vector<T>& values) {
+    pack_span(std::span<const T>(values));
+  }
+
+  void pack(const std::vector<std::string>& values) {
+    pack(static_cast<std::uint64_t>(values.size()));
+    for (const auto& v : values) pack(v);
+  }
+
+  /// Raw bytes without a length prefix (caller knows the framing).
+  void pack_raw(std::span<const std::byte> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(data_); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+/// Cursor over a received payload; mirror image of PackBuffer.
+class UnpackBuffer {
+ public:
+  explicit UnpackBuffer(std::span<const std::byte> data) : data_(data) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  T unpack() {
+    T value;
+    need(sizeof(T));
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string unpack_string() {
+    const auto n = unpack<std::uint64_t>();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> unpack_vector() {
+    const auto n = unpack<std::uint64_t>();
+    need(n * sizeof(T));
+    std::vector<T> values(n);
+    std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return values;
+  }
+
+  std::vector<std::string> unpack_string_vector() {
+    const auto n = unpack<std::uint64_t>();
+    std::vector<std::string> values;
+    values.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) values.push_back(unpack_string());
+    return values;
+  }
+
+  /// View of the next `n` raw bytes (no copy); advances the cursor.
+  std::span<const std::byte> unpack_raw(std::size_t n) {
+    need(n);
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw UsageError("UnpackBuffer: truncated payload");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: pack a single trivially-copyable value into a payload.
+template <class T>
+std::vector<std::byte> to_bytes(const T& value) {
+  PackBuffer b;
+  b.pack(value);
+  return std::move(b).take();
+}
+
+/// Convenience: view a span of trivially-copyable values as raw bytes.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const std::byte> as_bytes_span(std::span<const T> values) {
+  return {reinterpret_cast<const std::byte*>(values.data()),
+          values.size_bytes()};
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,62 @@
+#include "rt/universe.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rt/mailbox.hpp"
+
+namespace mxn::rt {
+
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Universe::block_enter() {
+  const int now_blocked = blocked_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (now_blocked == size_) {
+    all_blocked_since_.store(steady_now_ns(), std::memory_order_release);
+  }
+}
+
+void Universe::block_exit() {
+  blocked_.fetch_sub(1, std::memory_order_acq_rel);
+  all_blocked_since_.store(0, std::memory_order_release);
+}
+
+void Universe::note_activity() {
+  all_blocked_since_.store(0, std::memory_order_release);
+}
+
+bool Universe::check_deadlock() {
+  if (deadlock_timeout_ms_ <= 0) return false;
+  if (deadlocked_.load(std::memory_order_acquire)) return true;
+  if (blocked_.load(std::memory_order_acquire) != size_) return false;
+  const std::int64_t since = all_blocked_since_.load(std::memory_order_acquire);
+  if (since == 0) return false;
+  const std::int64_t elapsed_ms = (steady_now_ns() - since) / 1'000'000;
+  if (elapsed_ms < deadlock_timeout_ms_) return false;
+  deadlocked_.store(true, std::memory_order_release);
+  notify_all_mailboxes();
+  return true;
+}
+
+void Universe::register_mailbox(Mailbox* box) {
+  std::lock_guard lock(boxes_mu_);
+  boxes_.push_back(box);
+}
+
+void Universe::unregister_mailbox(Mailbox* box) {
+  std::lock_guard lock(boxes_mu_);
+  boxes_.erase(std::remove(boxes_.begin(), boxes_.end(), box), boxes_.end());
+}
+
+void Universe::notify_all_mailboxes() {
+  std::lock_guard lock(boxes_mu_);
+  for (Mailbox* box : boxes_) box->notify();
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mxn::rt {
+
+class Mailbox;
+
+/// Aggregate traffic counters. Snapshots are cheap to take and compare; the
+/// benches use them to report messages/bytes moved per transfer.
+struct StatsSnapshot {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  friend StatsSnapshot operator-(StatsSnapshot a, StatsSnapshot b) {
+    return {a.messages - b.messages, a.bytes - b.bytes};
+  }
+};
+
+/// Shared state of one spawn(): the set of "processes" (threads), global
+/// traffic counters, the abort flag used to unwind siblings after a failure,
+/// and the all-blocked watchdog that detects communication deadlock.
+///
+/// The watchdog is timeout-based: when every thread of the universe is
+/// blocked in a matched receive and no message has been delivered for
+/// `deadlock_timeout_ms`, all blocked threads throw DeadlockError. A timeout
+/// of zero disables detection.
+class Universe {
+ public:
+  Universe(int size, int deadlock_timeout_ms)
+      : size_(size), deadlock_timeout_ms_(deadlock_timeout_ms) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  // --- traffic accounting -------------------------------------------------
+  void count_message(std::uint64_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    note_activity();
+  }
+
+  [[nodiscard]] StatsSnapshot stats() const {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed)};
+  }
+
+  // --- abort handling -----------------------------------------------------
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    notify_all_mailboxes();
+  }
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  // --- deadlock watchdog ----------------------------------------------------
+  void block_enter();
+  void block_exit();
+  void note_activity();
+
+  /// Called from the wait loop of a blocked thread; returns true (and trips
+  /// the deadlock flag, waking everyone) when the whole universe has been
+  /// idle-blocked past the timeout.
+  bool check_deadlock();
+
+  [[nodiscard]] bool deadlocked() const {
+    return deadlocked_.load(std::memory_order_acquire);
+  }
+
+  // Mailboxes register themselves so abort/deadlock can wake their waiters.
+  void register_mailbox(Mailbox* box);
+  void unregister_mailbox(Mailbox* box);
+
+ private:
+  void notify_all_mailboxes();
+
+  int size_;
+  int deadlock_timeout_ms_;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> deadlocked_{false};
+
+  std::atomic<int> blocked_{0};
+  // Steady-clock time (ns since epoch of the clock) at which the universe
+  // became fully blocked; 0 means "not fully blocked" or activity since.
+  std::atomic<std::int64_t> all_blocked_since_{0};
+
+  std::mutex boxes_mu_;
+  std::vector<Mailbox*> boxes_;
+};
+
+}  // namespace mxn::rt

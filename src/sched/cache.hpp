@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace mxn::sched {
+
+/// Per-process cache of region schedules keyed by (source template,
+/// destination template, roles). Communication schedules can be expensive to
+/// calculate (paper §2.3); because schedules are a function of templates —
+/// not of the actual arrays aligned to them — one cached schedule serves
+/// every conforming array and every repeat transfer.
+class ScheduleCache {
+ public:
+  /// Look up or build the schedule for this rank's roles. The returned
+  /// reference stays valid for the cache's lifetime.
+  const RegionSchedule& get(const dad::DescriptorPtr& src,
+                            const dad::DescriptorPtr& dst, int my_src_rank,
+                            int my_dst_rank) {
+    for (const auto& e : entries_) {
+      if (e->my_src == my_src_rank && e->my_dst == my_dst_rank &&
+          same_desc(e->src, src) && same_desc(e->dst, dst)) {
+        ++hits_;
+        return e->sched;
+      }
+    }
+    ++misses_;
+    auto e = std::make_unique<Entry>();
+    e->src = src;
+    e->dst = dst;
+    e->my_src = my_src_rank;
+    e->my_dst = my_dst_rank;
+    e->sched = build_region_schedule(*src, *dst, my_src_rank, my_dst_rank);
+    entries_.push_back(std::move(e));
+    return entries_.back()->sched;
+  }
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  static bool same_desc(const dad::DescriptorPtr& a,
+                        const dad::DescriptorPtr& b) {
+    return a == b || *a == *b;  // pointer fast path, then structural
+  }
+
+  struct Entry {
+    dad::DescriptorPtr src, dst;
+    int my_src = -1, my_dst = -1;
+    RegionSchedule sched;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace mxn::sched

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "rt/communicator.hpp"
+#include "rt/error.hpp"
+
+namespace mxn::sched {
+
+/// Binding of a redistribution to actual processes: a channel communicator
+/// that spans both cohorts, and the channel ranks of the source and
+/// destination cohort members (index == cohort rank). Self-couplings (e.g. a
+/// transpose within one cohort) simply list the same ranks on both sides.
+struct Coupling {
+  rt::Communicator channel;
+  std::vector<int> src_ranks;
+  std::vector<int> dst_ranks;
+
+  /// This process's rank in the source cohort, or -1 if it is not a member.
+  [[nodiscard]] int my_src_rank() const { return role_of(src_ranks); }
+  /// This process's rank in the destination cohort, or -1.
+  [[nodiscard]] int my_dst_rank() const { return role_of(dst_ranks); }
+
+ private:
+  [[nodiscard]] int role_of(const std::vector<int>& ranks) const {
+    const int me = channel.rank();
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i] == me) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+/// Convenience: source cohort = channel ranks [0, m), destination cohort =
+/// channel ranks [m, m+n) — the usual layout when two parallel programs are
+/// spawned side by side.
+inline Coupling split_coupling(rt::Communicator channel, int m, int n) {
+  if (m + n > channel.size())
+    throw rt::UsageError("coupling cohorts exceed channel size");
+  Coupling c;
+  c.channel = std::move(channel);
+  c.src_ranks.resize(m);
+  c.dst_ranks.resize(n);
+  for (int i = 0; i < m; ++i) c.src_ranks[i] = i;
+  for (int i = 0; i < n; ++i) c.dst_ranks[i] = m + i;
+  return c;
+}
+
+/// Self-coupling: both cohorts are the whole channel.
+inline Coupling self_coupling(rt::Communicator channel) {
+  Coupling c;
+  const int n = channel.size();
+  c.channel = std::move(channel);
+  c.src_ranks.resize(n);
+  c.dst_ranks.resize(n);
+  for (int i = 0; i < n; ++i) c.src_ranks[i] = c.dst_ranks[i] = i;
+  return c;
+}
+
+}  // namespace mxn::sched

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstring>
+
+#include "dad/dist_array.hpp"
+#include "sched/coupling.hpp"
+#include "sched/schedule.hpp"
+
+namespace mxn::sched {
+
+/// Execute a region schedule: this process performs exactly its own sends
+/// and matched receives — independent asynchronous point-to-point transfers
+/// with no synchronization barrier on either side (the dataReady() model of
+/// the CCA M×N component, paper §4.1). Sends are eager, so issuing all
+/// sends before draining receives cannot deadlock.
+///
+/// `src_arr` may be null when this process is not in the source cohort, and
+/// `dst_arr` null when not in the destination cohort.
+template <class T>
+void execute(const RegionSchedule& sched, const dad::DistArray<T>* src_arr,
+             dad::DistArray<T>* dst_arr, const Coupling& c, int tag) {
+  if (!sched.sends.empty() && src_arr == nullptr)
+    throw rt::UsageError("schedule has sends but no source array given");
+  if (!sched.recvs.empty() && dst_arr == nullptr)
+    throw rt::UsageError("schedule has recvs but no destination array given");
+
+  rt::Communicator channel = c.channel;  // local handle
+
+  for (const auto& pr : sched.sends) {
+    std::vector<T> buf(static_cast<std::size_t>(pr.elements));
+    Index off = 0;
+    for (const auto& region : pr.regions) {
+      src_arr->extract(region, buf.data() + off);
+      off += region.volume();
+    }
+    channel.send_span<T>(c.dst_ranks.at(pr.peer), tag,
+                         std::span<const T>(buf));
+  }
+
+  for (const auto& pr : sched.recvs) {
+    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag);
+    if (msg.payload.size() !=
+        static_cast<std::size_t>(pr.elements) * sizeof(T))
+      throw rt::UsageError("redistribution payload size mismatch");
+    const T* data = reinterpret_cast<const T*>(msg.payload.data());
+    Index off = 0;
+    for (const auto& region : pr.regions) {
+      dst_arr->inject(region, data + off);
+      off += region.volume();
+    }
+  }
+}
+
+/// Copy the elements of `segs` (ascending, each covered by the footprint in
+/// `prov`) between local storage and a linear-ordered buffer. pack=true
+/// reads local -> buf; pack=false writes buf -> local.
+template <class T>
+void copy_segments(const std::vector<linear::ProvenancedSegment>& prov,
+                   const std::vector<linear::Segment>& segs, T* local,
+                   T* buf, bool pack) {
+  std::size_t pi = 0;
+  Index k = 0;
+  for (const auto& seg : segs) {
+    while (pi < prov.size() && prov[pi].seg.hi <= seg.lo) ++pi;
+    std::size_t pj = pi;
+    Index lo = seg.lo;
+    while (lo < seg.hi) {
+      if (pj >= prov.size() || prov[pj].seg.lo > lo)
+        throw rt::UsageError("segment not covered by local footprint");
+      const auto& p = prov[pj];
+      const Index n = std::min(seg.hi, p.seg.hi) - lo;
+      const Index s0 = p.storage_offset + (lo - p.seg.lo) * p.storage_stride;
+      if (p.storage_stride == 1) {
+        if (pack)
+          std::memcpy(buf + k, local + s0,
+                      static_cast<std::size_t>(n) * sizeof(T));
+        else
+          std::memcpy(local + s0, buf + k,
+                      static_cast<std::size_t>(n) * sizeof(T));
+      } else {
+        for (Index i = 0; i < n; ++i) {
+          if (pack)
+            buf[k + i] = local[s0 + i * p.storage_stride];
+          else
+            local[s0 + i * p.storage_stride] = buf[k + i];
+        }
+      }
+      lo += n;
+      k += n;
+      if (lo >= p.seg.hi) ++pj;
+    }
+  }
+}
+
+/// Execute a segment schedule. `src_prov`/`dst_prov` are the provenanced
+/// footprints of the local arrays under the source/destination
+/// linearizations (compute once with linear::footprint_with_provenance and
+/// reuse across transfers, like the schedule itself).
+template <class T>
+void execute(const SegmentSchedule& sched, dad::DistArray<T>* src_arr,
+             const std::vector<linear::ProvenancedSegment>* src_prov,
+             dad::DistArray<T>* dst_arr,
+             const std::vector<linear::ProvenancedSegment>* dst_prov,
+             const Coupling& c, int tag) {
+  rt::Communicator channel = c.channel;
+
+  for (const auto& ps : sched.sends) {
+    std::vector<T> buf(static_cast<std::size_t>(ps.elements));
+    copy_segments<T>(*src_prov, ps.segs, src_arr->local().data(), buf.data(),
+                     /*pack=*/true);
+    channel.send_span<T>(c.dst_ranks.at(ps.peer), tag,
+                         std::span<const T>(buf));
+  }
+
+  for (const auto& ps : sched.recvs) {
+    auto msg = channel.recv(c.src_ranks.at(ps.peer), tag);
+    if (msg.payload.size() !=
+        static_cast<std::size_t>(ps.elements) * sizeof(T))
+      throw rt::UsageError("redistribution payload size mismatch");
+    std::vector<T> buf(static_cast<std::size_t>(ps.elements));
+    std::memcpy(buf.data(), msg.payload.data(), msg.payload.size());
+    copy_segments<T>(*dst_prov, ps.segs, dst_arr->local().data(), buf.data(),
+                     /*pack=*/false);
+  }
+}
+
+}  // namespace mxn::sched

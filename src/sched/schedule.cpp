@@ -1,0 +1,116 @@
+#include "sched/schedule.hpp"
+
+#include "rt/error.hpp"
+
+namespace mxn::sched {
+
+using rt::UsageError;
+
+namespace {
+
+void check_shapes(const Descriptor& src, const Descriptor& dst) {
+  if (!src.same_shape(dst))
+    throw UsageError("redistribution requires identically shaped templates (" +
+                     src.to_string() + " vs " + dst.to_string() + ")");
+}
+
+}  // namespace
+
+RegionSchedule build_region_schedule(const Descriptor& src,
+                                     const Descriptor& dst, int my_src_rank,
+                                     int my_dst_rank, bool prune) {
+  check_shapes(src, dst);
+  RegionSchedule out;
+
+  if (my_src_rank >= 0) {
+    // Sender side: my source patches against every destination rank's
+    // patches, nested (my patch, peer patch) — the canonical order.
+    const bool have_any = src.local_volume(my_src_rank) > 0;
+    for (int d = 0; d < dst.nranks(); ++d) {
+      if (prune && (!have_any || dst.local_volume(d) == 0 ||
+                    !src.bounding_box(my_src_rank)
+                         .overlaps(dst.bounding_box(d))))
+        continue;
+      PeerRegions pr;
+      pr.peer = d;
+      for (const auto& mine : src.patches_of(my_src_rank)) {
+        for (const auto& theirs : dst.patches_of(d)) {
+          if (auto r = Patch::intersect(mine, theirs)) {
+            pr.regions.push_back(*r);
+            pr.elements += r->volume();
+          }
+        }
+      }
+      if (!pr.regions.empty()) out.sends.push_back(std::move(pr));
+    }
+  }
+
+  if (my_dst_rank >= 0) {
+    // Receiver side: every source rank's patches against my destination
+    // patches, in the sender's packing order (source patch, dest patch).
+    const bool have_any = dst.local_volume(my_dst_rank) > 0;
+    for (int s = 0; s < src.nranks(); ++s) {
+      if (prune && (!have_any || src.local_volume(s) == 0 ||
+                    !src.bounding_box(s).overlaps(
+                        dst.bounding_box(my_dst_rank))))
+        continue;
+      PeerRegions pr;
+      pr.peer = s;
+      for (const auto& theirs : src.patches_of(s)) {
+        for (const auto& mine : dst.patches_of(my_dst_rank)) {
+          if (auto r = Patch::intersect(theirs, mine)) {
+            pr.regions.push_back(*r);
+            pr.elements += r->volume();
+          }
+        }
+      }
+      if (!pr.regions.empty()) out.recvs.push_back(std::move(pr));
+    }
+  }
+
+  return out;
+}
+
+SegmentSchedule build_segment_schedule(const Descriptor& src,
+                                       const linear::Linearization& src_lin,
+                                       const Descriptor& dst,
+                                       const linear::Linearization& dst_lin,
+                                       int my_src_rank, int my_dst_rank) {
+  if (src_lin.total() != dst_lin.total())
+    throw UsageError(
+        "source and destination linearizations must cover the same number of "
+        "elements");
+  SegmentSchedule out;
+
+  if (my_src_rank >= 0) {
+    const auto mine = linear::footprint(src, my_src_rank, src_lin);
+    for (int d = 0; d < dst.nranks(); ++d) {
+      const auto theirs = linear::footprint(dst, d, dst_lin);
+      auto common = linear::intersect(mine, theirs);
+      if (common.empty()) continue;
+      PeerSegments ps;
+      ps.peer = d;
+      ps.elements = linear::total_length(common);
+      ps.segs = std::move(common);
+      out.sends.push_back(std::move(ps));
+    }
+  }
+
+  if (my_dst_rank >= 0) {
+    const auto mine = linear::footprint(dst, my_dst_rank, dst_lin);
+    for (int s = 0; s < src.nranks(); ++s) {
+      const auto theirs = linear::footprint(src, s, src_lin);
+      auto common = linear::intersect(theirs, mine);
+      if (common.empty()) continue;
+      PeerSegments ps;
+      ps.peer = s;
+      ps.elements = linear::total_length(common);
+      ps.segs = std::move(common);
+      out.recvs.push_back(std::move(ps));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace mxn::sched

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <vector>
+
+#include "dad/descriptor.hpp"
+#include "linear/linearization.hpp"
+
+namespace mxn::sched {
+
+using dad::Descriptor;
+using dad::Index;
+using dad::Patch;
+
+/// Everything one rank exchanges with one peer in a redistribution, as
+/// rectangular regions. Each region lies inside a single owned patch of the
+/// local side (senders: a source patch; receivers: a destination patch), so
+/// pack/unpack is a strided memcpy. The region list order is the canonical
+/// (source patch index, destination patch index) nesting, derived
+/// identically and independently on both sides — the two sides never need to
+/// exchange schedule data.
+struct PeerRegions {
+  int peer = 0;  // rank in the other cohort
+  std::vector<Patch> regions;
+  Index elements = 0;
+};
+
+/// One rank's local view of a region-based communication schedule computed
+/// by direct DAD x DAD patch intersection (paper §2.3). A rank can hold the
+/// source role, the destination role, or both (self-coupling, e.g. an
+/// in-place transpose over the same cohort).
+struct RegionSchedule {
+  std::vector<PeerRegions> sends;  // this rank as source; peer = dst rank
+  std::vector<PeerRegions> recvs;  // this rank as destination; peer = src rank
+
+  [[nodiscard]] Index send_elements() const {
+    Index t = 0;
+    for (const auto& p : sends) t += p.elements;
+    return t;
+  }
+  [[nodiscard]] Index recv_elements() const {
+    Index t = 0;
+    for (const auto& p : recvs) t += p.elements;
+    return t;
+  }
+  [[nodiscard]] std::size_t message_count() const {
+    return sends.size() + recvs.size();
+  }
+};
+
+/// Build the local schedule for a rank holding source rank `my_src_rank`
+/// (or -1 if not in the source cohort) and destination rank `my_dst_rank`
+/// (or -1). The descriptors must describe the same global index space;
+/// every source element reaches exactly the destination rank(s) owning the
+/// same global point.
+/// `prune` skips peer ranks whose patch bounding box cannot overlap this
+/// rank's (an exactness-preserving fast path; exposed so the ablation bench
+/// can measure what it buys).
+RegionSchedule build_region_schedule(const Descriptor& src,
+                                     const Descriptor& dst, int my_src_rank,
+                                     int my_dst_rank, bool prune = true);
+
+/// Everything one rank exchanges with one peer, as segments of the common
+/// abstract linear arrangement (Meta-Chaos / InterComm model, §2.2.1).
+struct PeerSegments {
+  int peer = 0;
+  std::vector<linear::Segment> segs;  // ascending, disjoint
+  Index elements = 0;
+};
+
+/// One rank's local view of a linearization-based schedule. The source and
+/// destination sides may use different linearizations (e.g. row-major vs
+/// column-major: a transpose coupling); elements correspond through equal
+/// linear index.
+struct SegmentSchedule {
+  std::vector<PeerSegments> sends;
+  std::vector<PeerSegments> recvs;
+
+  [[nodiscard]] Index send_elements() const {
+    Index t = 0;
+    for (const auto& p : sends) t += p.elements;
+    return t;
+  }
+  [[nodiscard]] Index recv_elements() const {
+    Index t = 0;
+    for (const auto& p : recvs) t += p.elements;
+    return t;
+  }
+};
+
+SegmentSchedule build_segment_schedule(const Descriptor& src,
+                                       const linear::Linearization& src_lin,
+                                       const Descriptor& dst,
+                                       const linear::Linearization& dst_lin,
+                                       int my_src_rank, int my_dst_rank);
+
+}  // namespace mxn::sched

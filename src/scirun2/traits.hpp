@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prmi/value.hpp"
+#include "sidl/types.hpp"
+
+namespace mxn::scirun2 {
+
+/// Marker wrapping a parallel (distributed) array argument for typed stubs:
+/// the SIDL `parallel array<...>` parameter of the SCIRun2 extension. Build
+/// one with core::make_field over a DistArray.
+struct Distributed {
+  const core::FieldRegistration* binding = nullptr;
+};
+
+/// Mapping between native C++ types and the dynamic PRMI value model plus
+/// the SIDL type they satisfy — the knowledge an IDL compiler bakes into
+/// generated stubs.
+template <class T>
+struct ValueTraits;
+
+#define MXN_SCIRUN2_SCALAR_TRAIT(cpp, kind_)                                \
+  template <>                                                               \
+  struct ValueTraits<cpp> {                                                 \
+    static prmi::Value to_value(const cpp& v) { return v; }                 \
+    static cpp from_value(const prmi::Value& v) { return std::get<cpp>(v); } \
+    static bool matches(const sidl::TypeRef& t) {                           \
+      return !t.parallel && t.kind == sidl::TypeKind::kind_;                \
+    }                                                                       \
+  }
+
+MXN_SCIRUN2_SCALAR_TRAIT(bool, Bool);
+MXN_SCIRUN2_SCALAR_TRAIT(std::int32_t, Int);
+MXN_SCIRUN2_SCALAR_TRAIT(std::int64_t, Long);
+MXN_SCIRUN2_SCALAR_TRAIT(float, Float);
+MXN_SCIRUN2_SCALAR_TRAIT(double, Double);
+MXN_SCIRUN2_SCALAR_TRAIT(std::string, String);
+
+#undef MXN_SCIRUN2_SCALAR_TRAIT
+
+template <>
+struct ValueTraits<void> {
+  static bool matches(const sidl::TypeRef& t) {
+    return t.kind == sidl::TypeKind::Void;
+  }
+};
+
+#define MXN_SCIRUN2_ARRAY_TRAIT(elem_cpp, elem_kind)                         \
+  template <>                                                                \
+  struct ValueTraits<std::vector<elem_cpp>> {                                \
+    static prmi::Value to_value(std::vector<elem_cpp> v) {                   \
+      return prmi::Value{std::in_place_type<std::vector<elem_cpp>>,          \
+                         std::move(v)};                                      \
+    }                                                                        \
+    static std::vector<elem_cpp> from_value(const prmi::Value& v) {          \
+      return std::get<std::vector<elem_cpp>>(v);                             \
+    }                                                                        \
+    static bool matches(const sidl::TypeRef& t) {                            \
+      return !t.parallel && t.kind == sidl::TypeKind::Array &&               \
+             t.elem == sidl::TypeKind::elem_kind;                            \
+    }                                                                        \
+  }
+
+MXN_SCIRUN2_ARRAY_TRAIT(std::int32_t, Int);
+MXN_SCIRUN2_ARRAY_TRAIT(std::int64_t, Long);
+MXN_SCIRUN2_ARRAY_TRAIT(float, Float);
+MXN_SCIRUN2_ARRAY_TRAIT(double, Double);
+
+#undef MXN_SCIRUN2_ARRAY_TRAIT
+
+template <>
+struct ValueTraits<Distributed> {
+  static prmi::Value to_value(const Distributed& d) {
+    return prmi::ParallelRef{d.binding};
+  }
+  static bool matches(const sidl::TypeRef& t) { return t.parallel; }
+};
+
+}  // namespace mxn::scirun2

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sidl/types.hpp"
+
+namespace mxn::sidl {
+
+/// Error raised on malformed SIDL input; carries a 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("SIDL parse error at line " + std::to_string(line) +
+                           ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse one package of the SIDL subset used by the PRMI layers. Grammar:
+///
+///   package  := 'package' IDENT ('version' VERSION)? '{' interface* '}'
+///   interface:= 'interface' IDENT '{' method* '}'
+///   method   := ('collective'|'independent')? 'oneway'? type IDENT
+///               '(' (param (',' param)*)? ')' ';'
+///   param    := ('in'|'out'|'inout') 'parallel'? type IDENT
+///   type     := 'void'|'bool'|'int'|'long'|'float'|'double'|'string'
+///             | 'array' '<' scalar ',' INT '>'
+///
+/// Line comments (`//`) and block comments (`/* */`) are skipped. Methods
+/// default to collective (the safe choice for SPMD components). Semantic
+/// rules enforced here: oneway implies void return and no out/inout params;
+/// `parallel` only applies to array params; independent methods may not
+/// take parallel arguments (they are one-to-one serial calls).
+Package parse_package(const std::string& source);
+
+}  // namespace mxn::sidl

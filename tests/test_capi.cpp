@@ -1,0 +1,142 @@
+// Tests for the C binding (src/capi) — the Babel-role language
+// interoperability layer. The coupling scenario here is written strictly
+// against the C API (opaque handles, status codes, raw buffers), proving a
+// non-C++ component could drive the M×N machinery.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "capi/mxn_c.h"
+
+namespace {
+
+struct QuickstartCheck {
+  int failures = 0;
+};
+
+extern "C" void quickstart_body(mxn_comm comm, void* user) {
+  auto* check = static_cast<QuickstartCheck*>(user);
+  const int rank = mxn_comm_rank(comm);
+  const int side = rank < 2 ? 0 : 1;
+
+  // Side 0: 2 ranks, row blocks. Side 1: 1 rank, everything.
+  const int kinds_a[2] = {MXN_AXIS_BLOCK, MXN_AXIS_COLLAPSED};
+  const int kinds_b[2] = {MXN_AXIS_COLLAPSED, MXN_AXIS_COLLAPSED};
+  const int64_t extents[2] = {6, 4};
+  const int nprocs_a[2] = {2, 1};
+  const int nprocs_b[2] = {1, 1};
+  mxn_dad dad = side == 0
+                    ? mxn_dad_regular(2, kinds_a, extents, nprocs_a, NULL)
+                    : mxn_dad_regular(2, kinds_b, extents, nprocs_b, NULL);
+  if (!dad) {
+    ++check->failures;
+    return;
+  }
+  const int cohort_rank = side == 0 ? rank : 0;
+  mxn_array arr = mxn_array_create(dad, cohort_rank);
+  if (!arr) {
+    ++check->failures;
+    return;
+  }
+
+  int64_t len = 0;
+  double* data = mxn_array_local(arr, &len);
+  if (side == 0) {
+    // Fill by global coordinates through the C API.
+    int64_t coords[2];
+    for (int64_t i = 0; i < len; ++i) {
+      if (mxn_array_global_coords(arr, i, coords) != 0) ++check->failures;
+      data[i] = 10.0 * double(coords[0]) + double(coords[1]);
+    }
+  }
+
+  mxn_pair pair = mxn_pair_create(comm, 2, 1);
+  if (!pair || mxn_pair_side(pair) != side) ++check->failures;
+  if (mxn_pair_register(pair, "field", arr,
+                        side == 0 ? MXN_READ : MXN_WRITE) != 0)
+    ++check->failures;
+  const int conn = mxn_pair_establish(pair, "field", /*src_side=*/0,
+                                      /*one_shot=*/1, /*period=*/1);
+  if (conn < 0) ++check->failures;
+  if (mxn_pair_data_ready(pair, "field") != 1) ++check->failures;
+
+  if (side == 1) {
+    int64_t coords[2];
+    for (int64_t i = 0; i < len; ++i) {
+      mxn_array_global_coords(arr, i, coords);
+      if (data[i] != 10.0 * double(coords[0]) + double(coords[1]))
+        ++check->failures;
+    }
+    uint64_t transfers = 0, elements = 0, bytes = 0;
+    if (mxn_pair_stats(pair, conn, &transfers, &elements, &bytes) != 0)
+      ++check->failures;
+    if (transfers != 1 || elements != 24 || bytes != 24 * sizeof(double))
+      ++check->failures;
+  }
+
+  mxn_pair_destroy(pair);
+  mxn_array_destroy(arr);
+  mxn_dad_destroy(dad);
+}
+
+extern "C" void failing_body(mxn_comm comm, void*) {
+  (void)comm;
+  throw std::runtime_error("c callback blew up");
+}
+
+}  // namespace
+
+TEST(CApi, QuickstartCouplingThroughCBinding) {
+  QuickstartCheck check;
+  ASSERT_EQ(mxn_spawn(3, quickstart_body, &check), 0) << mxn_last_error();
+  EXPECT_EQ(check.failures, 0);
+}
+
+TEST(CApi, ErrorsReportedThroughStatusAndLastError) {
+  EXPECT_NE(mxn_spawn(2, failing_body, nullptr), 0);
+  EXPECT_STREQ(mxn_last_error(), "c callback blew up");
+
+  EXPECT_NE(mxn_spawn(0, quickstart_body, nullptr), 0);
+  EXPECT_NE(std::strlen(mxn_last_error()), 0u);
+
+  EXPECT_NE(mxn_spawn(1, nullptr, nullptr), 0);
+}
+
+TEST(CApi, DadValidationSurfacesAsNull) {
+  const int kinds[1] = {MXN_AXIS_BLOCK};
+  const int64_t extents[1] = {0};  // invalid
+  const int nprocs[1] = {2};
+  EXPECT_EQ(mxn_dad_regular(1, kinds, extents, nprocs, NULL), nullptr);
+  EXPECT_NE(std::strlen(mxn_last_error()), 0u);
+  EXPECT_EQ(mxn_dad_regular(1, nullptr, extents, nprocs, NULL), nullptr);
+  // Block-cyclic without block sizes.
+  const int bc[1] = {MXN_AXIS_BLOCK_CYCLIC};
+  const int64_t e[1] = {8};
+  EXPECT_EQ(mxn_dad_regular(1, bc, e, nprocs, NULL), nullptr);
+}
+
+TEST(CApi, DadQueries) {
+  const int kinds[1] = {MXN_AXIS_BLOCK};
+  const int64_t extents[1] = {10};
+  const int nprocs[1] = {3};
+  mxn_dad d = mxn_dad_regular(1, kinds, extents, nprocs, NULL);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(mxn_dad_nranks(d), 3);
+  EXPECT_EQ(mxn_dad_local_volume(d, 0), 4);
+  EXPECT_EQ(mxn_dad_local_volume(d, 2), 2);
+  EXPECT_EQ(mxn_dad_local_volume(d, 9), -1);  // bad rank -> error
+  mxn_dad_destroy(d);
+}
+
+TEST(CApi, NullHandlesAreSafe) {
+  EXPECT_EQ(mxn_comm_rank(nullptr), -1);
+  EXPECT_EQ(mxn_comm_size(nullptr), -1);
+  EXPECT_NE(mxn_comm_barrier(nullptr), 0);
+  EXPECT_EQ(mxn_dad_nranks(nullptr), -1);
+  EXPECT_EQ(mxn_array_local(nullptr, nullptr), nullptr);
+  EXPECT_EQ(mxn_pair_side(nullptr), -1);
+  mxn_dad_destroy(nullptr);
+  mxn_array_destroy(nullptr);
+  mxn_pair_destroy(nullptr);
+}

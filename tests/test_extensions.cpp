@@ -1,0 +1,184 @@
+// Tests for the paper's flagged extensions: the particle-based container
+// (§4.1, "under development") and the filter-pipeline / super-component
+// machinery (§6, future work).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/particle_set.hpp"
+#include "core/pipeline.hpp"
+#include "rt/runtime.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Point;
+
+namespace {
+
+struct Particle {
+  double x = 0;
+  double y = 0;
+  int id = 0;
+};
+
+Point cell_of(const Particle& p) {
+  return Point{static_cast<dad::Index>(p.x), static_cast<dad::Index>(p.y)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParticleSet
+// ---------------------------------------------------------------------------
+
+TEST(ParticleSet, MigrateBringsEveryParticleHome) {
+  auto desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(8, 2), AxisDist::block(8, 2)});
+  rt::spawn(4, [&](rt::Communicator& world) {
+    core::ParticleSet<Particle> set(desc, world.rank());
+    // Every rank seeds particles scattered over the WHOLE domain.
+    std::mt19937 rng(world.rank() + 1);
+    std::uniform_real_distribution<double> coord(0.0, 8.0);
+    for (int i = 0; i < 50; ++i)
+      set.particles().push_back(
+          {coord(rng), coord(rng), world.rank() * 1000 + i});
+    EXPECT_GT(set.misplaced(cell_of), 0u);
+
+    set.migrate(world, cell_of, 500);
+
+    EXPECT_EQ(set.misplaced(cell_of), 0u);
+    for (const auto& p : set.particles())
+      EXPECT_EQ(desc->owner(cell_of(p)), world.rank());
+    // Conservation: the total particle count is unchanged.
+    const int total = world.allreduce(
+        static_cast<int>(set.particles().size()),
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(total, 200);
+  });
+}
+
+TEST(ParticleSet, MigrateIsIdempotentWhenHome) {
+  auto desc = dad::make_regular(std::vector<AxisDist>{AxisDist::block(4, 2)});
+  rt::spawn(2, [&](rt::Communicator& world) {
+    core::ParticleSet<Particle> set(desc, world.rank());
+    set.particles().push_back({world.rank() == 0 ? 0.5 : 2.5, 0, 7});
+    set.migrate(world, [](const Particle& p) {
+      return Point{static_cast<dad::Index>(p.x)};
+    }, 501);
+    ASSERT_EQ(set.particles().size(), 1u);
+    EXPECT_EQ(set.particles()[0].id, 7);
+  });
+}
+
+TEST(ParticleSet, MxNTransferReownsByDestinationDecomposition) {
+  // Source: 2 ranks, row blocks. Destination: 3 ranks, column blocks.
+  auto src_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(6, 2), AxisDist::collapsed(6)});
+  auto dst_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(6), AxisDist::block(6, 3)});
+  rt::spawn(5, [&](rt::Communicator& world) {
+    mxn::sched::Coupling c = mxn::sched::split_coupling(world, 2, 3);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<core::ParticleSet<Particle>> src, dst;
+    if (ms >= 0) {
+      src = std::make_unique<core::ParticleSet<Particle>>(src_desc, ms);
+      // 18 particles per source rank, all inside its own rows.
+      for (int i = 0; i < 18; ++i)
+        src->particles().push_back(
+            {ms * 3 + (i % 3) + 0.5, double(i % 6) + 0.5, ms * 100 + i});
+    }
+    if (md >= 0)
+      dst = std::make_unique<core::ParticleSet<Particle>>(dst_desc, md);
+
+    core::ParticleSet<Particle>::transfer(src.get(), dst.get(), c, cell_of,
+                                          510);
+
+    if (ms >= 0) {
+      EXPECT_TRUE(src->particles().empty());
+    }
+    if (md >= 0) {
+      for (const auto& p : dst->particles())
+        EXPECT_EQ(dst_desc->owner(cell_of(p)), md);
+      const auto cohort_total = static_cast<int>(dst->particles().size());
+      EXPECT_EQ(cohort_total, 12);  // 36 particles over 3 column ranks
+    }
+  });
+}
+
+TEST(ParticleSet, MigrateValidatesCohort) {
+  auto desc = dad::make_regular(std::vector<AxisDist>{AxisDist::block(4, 2)});
+  rt::spawn(3, [&](rt::Communicator& world) {
+    core::ParticleSet<Particle> set(desc, 0);
+    EXPECT_THROW(set.migrate(world,
+                             [](const Particle& p) {
+                               return Point{static_cast<dad::Index>(p.x)};
+                             },
+                             520),
+                 rt::UsageError);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, StagesApplyInOrder) {
+  core::Pipeline p;
+  p.add(core::scale_stage(2.0)).add(core::offset_stage(1.0));
+  std::vector<double> v = {1.0, 2.0};
+  p.apply(v);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);  // 1*2 + 1
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(Pipeline, FuseComposesAffineRunsExactly) {
+  core::Pipeline p;
+  p.add(core::scale_stage(2.0))
+      .add(core::offset_stage(3.0))
+      .add(core::scale_stage(-1.0))
+      .add(core::offset_stage(0.5));
+  auto f = p.fuse();
+  EXPECT_EQ(f.size(), 1u);
+  std::vector<double> a = {0.0, 1.0, -4.5}, b = a;
+  p.apply(a);
+  f.apply(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Pipeline, NonAffineStagesAreFusionBarriers) {
+  core::Pipeline p;
+  p.add(core::scale_stage(2.0))
+      .add(core::offset_stage(1.0))
+      .add(core::clamp_stage(0.0, 10.0))
+      .add(core::scale_stage(0.5));
+  auto f = p.fuse();
+  EXPECT_EQ(f.size(), 3u);  // fused-affine, clamp, affine
+  std::vector<double> a = {-3.0, 4.0, 100.0}, b = a;
+  p.apply(a);
+  f.apply(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Pipeline, UnitConversionStage) {
+  core::Pipeline p;
+  p.add(core::kelvin_to_fahrenheit_stage());
+  std::vector<double> v = {273.15, 373.15};
+  p.apply(v);
+  EXPECT_NEAR(v[0], 32.0, 1e-9);
+  EXPECT_NEAR(v[1], 212.0, 1e-9);
+}
+
+TEST(Pipeline, RejectsNullStage) {
+  core::Pipeline p;
+  EXPECT_THROW(p.add(core::TransformStage{}), rt::UsageError);
+}
+
+TEST(Pipeline, DescribeListsStages) {
+  core::Pipeline p;
+  p.add(core::scale_stage(3.0)).add(core::clamp_stage(0, 1));
+  EXPECT_NE(p.describe().find("scale"), std::string::npos);
+  EXPECT_NE(p.describe().find("clamp"), std::string::npos);
+}

@@ -1,0 +1,183 @@
+// Randomized end-to-end sweeps ("fuzz") across the whole coupling stack:
+// random template pairs — regular, explicit, and aligned — pushed through
+// the paired M×N component with different element types, checked as exact
+// permutations; plus the GlobalSegMap <-> DAD bridge.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/mxn_component.hpp"
+#include "dad/alignment.hpp"
+#include "mct/router.hpp"
+#include "rt/runtime.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+namespace mct = mxn::mct;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+AxisDist random_axis(std::mt19937& rng, Index extent, int max_procs) {
+  std::uniform_int_distribution<int> kind(0, 4);
+  std::uniform_int_distribution<int> np(1, max_procs);
+  switch (kind(rng)) {
+    case 0:
+      return AxisDist::block(extent, np(rng));
+    case 1:
+      return AxisDist::cyclic(extent, np(rng));
+    case 2: {
+      std::uniform_int_distribution<Index> blk(1, 4);
+      return AxisDist::block_cyclic(extent, np(rng), blk(rng));
+    }
+    case 3: {
+      const int p = np(rng);
+      std::vector<Index> sizes(p, 0);
+      std::uniform_int_distribution<int> pick(0, p - 1);
+      for (Index i = 0; i < extent; ++i) ++sizes[pick(rng)];
+      bool any = false;
+      for (auto s : sizes) any = any || s > 0;
+      if (!any) sizes[0] = extent;
+      return AxisDist::generalized_block(std::move(sizes));
+    }
+    default: {
+      const int p = np(rng);
+      std::vector<int> owners(extent);
+      std::uniform_int_distribution<int> pick(0, p - 1);
+      for (auto& o : owners) o = pick(rng);
+      return AxisDist::implicit(std::move(owners), p);
+    }
+  }
+}
+
+/// A random descriptor over a 2-D extent; occasionally an aligned window of
+/// a bigger template (exercising the HPF alignment path end to end).
+dad::DescriptorPtr random_descriptor(std::mt19937& rng, Index e0, Index e1) {
+  std::uniform_int_distribution<int> mode(0, 3);
+  if (mode(rng) == 0) {
+    // Aligned window of a larger template.
+    auto tpl = dad::make_regular(std::vector<AxisDist>{
+        random_axis(rng, e0 + 4, 3), random_axis(rng, e1 + 3, 2)});
+    std::uniform_int_distribution<Index> o0(0, 4), o1(0, 3);
+    return dad::make_aligned(tpl, Point{o0(rng), o1(rng)}, Point{e0, e1});
+  }
+  return dad::make_regular(std::vector<AxisDist>{
+      random_axis(rng, e0, 3), random_axis(rng, e1, 2)});
+}
+
+template <class T>
+void fuzz_round(unsigned seed) {
+  std::mt19937 rng(seed);
+  const Index e0 = 10, e1 = 7;
+  auto src_desc = random_descriptor(rng, e0, e1);
+  auto dst_desc = random_descriptor(rng, e0, e1);
+  const int m = src_desc->nranks();
+  const int n = dst_desc->nranks();
+
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    const int side = world.rank() < m ? 0 : 1;
+    auto mxn = core::make_paired_mxn(world, m, n);
+    auto cohort = world.split(side, world.rank());
+    dad::DistArray<T> arr(side == 0 ? src_desc : dst_desc, cohort.rank());
+    if (side == 0)
+      arr.fill([](const Point& p) {
+        return static_cast<T>(31 * p[0] + p[1] + 1);
+      });
+    mxn->register_field(
+        core::make_field("f", &arr, core::AccessMode::ReadWrite));
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "f";
+    spec.src_side = 0;
+    mxn->establish(spec);
+    mxn->data_ready("f");
+    if (side == 1) {
+      arr.for_each_owned([](const Point& p, const T& v) {
+        EXPECT_EQ(v, static_cast<T>(31 * p[0] + p[1] + 1))
+            << "at (" << p[0] << "," << p[1] << ")";
+      });
+    }
+  });
+}
+
+}  // namespace
+
+class MxNFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MxNFuzz, DoubleFieldsSurviveRandomTemplatePairs) {
+  fuzz_round<double>(GetParam());
+}
+
+TEST_P(MxNFuzz, Int32FieldsSurviveRandomTemplatePairs) {
+  fuzz_round<std::int32_t>(GetParam() + 1000);
+}
+
+TEST_P(MxNFuzz, FloatFieldsSurviveRandomTemplatePairs) {
+  fuzz_round<float>(GetParam() + 2000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MxNFuzz, ::testing::Range(1u, 11u));
+
+// ---------------------------------------------------------------------------
+// GlobalSegMap <-> DAD bridge
+// ---------------------------------------------------------------------------
+
+TEST(GsmBridge, FromDescriptorMatchesFootprints) {
+  auto desc = dad::Descriptor::regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(12, 2, 3), AxisDist::block(6, 2)});
+  auto l = lin::Linearization::row_major(2, Point{12, 6});
+  auto gsm = mct::GlobalSegMap::from_descriptor(desc, l);
+  EXPECT_EQ(gsm.gsize(), 72);
+  EXPECT_EQ(gsm.nprocs(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(gsm.local_size(r), desc.local_volume(r));
+    EXPECT_EQ(gsm.footprint(r), lin::footprint(desc, r, l));
+  }
+  // Owner agreement point by point.
+  for (Index k = 0; k < gsm.gsize(); ++k)
+    EXPECT_EQ(gsm.owner(k), desc.owner(l.point_at(k)));
+}
+
+TEST(GsmBridge, DadComponentCouplesToMctComponentThroughRouter) {
+  // Side A describes its field with a DAD (block rows); side B is an MCT
+  // component with a cyclic GSMap. The bridge numbers A's points row-major
+  // so a Router can move the data.
+  const Index rows = 8, cols = 4;
+  auto a_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(rows, 2), AxisDist::collapsed(cols)});
+  auto l = lin::Linearization::row_major(2, Point{rows, cols});
+  auto a_map = mct::GlobalSegMap::from_descriptor(*a_desc, l);
+  auto b_map = mct::GlobalSegMap::cyclic(rows * cols, 2, 4);
+
+  rt::spawn(4, [&](rt::Communicator& world) {
+    const bool is_a = world.rank() < 2;
+    auto cohort = world.split(is_a ? 0 : 1, world.rank());
+    mct::RouterConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    cfg.my_ranks = is_a ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    cfg.peer_ranks = is_a ? std::vector<int>{2, 3} : std::vector<int>{0, 1};
+    cfg.tag = 400;
+    if (is_a) {
+      auto router = mct::Router::source(cfg, a_map);
+      // Fill the AttrVect in the GSMap's ascending-linear storage order.
+      mct::AttrVect av({"q"}, a_map.local_size(cohort.rank()));
+      for (Index li = 0; li < av.length(); ++li)
+        av.field(0)[li] =
+            2.0 * static_cast<double>(a_map.global_index(cohort.rank(), li));
+      router.send(av);
+    } else {
+      auto router = mct::Router::destination(cfg, b_map);
+      mct::AttrVect av({"q"}, b_map.local_size(cohort.rank()));
+      router.recv(av);
+      for (Index li = 0; li < av.length(); ++li)
+        EXPECT_DOUBLE_EQ(
+            av.field(0)[li],
+            2.0 * static_cast<double>(b_map.global_index(cohort.rank(), li)));
+    }
+  });
+}

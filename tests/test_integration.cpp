@@ -1,0 +1,229 @@
+// Cross-module integration tests: scenarios that chain several subsystems
+// the way the examples (and the paper's motivating applications) do —
+// redistribution + PRMI in one application, pipelines around transfers,
+// chained redistributions through an intermediate decomposition, and an
+// end-to-end mini climate step (Router -> interpolation -> merge ->
+// integral) checked for conservation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mxn_component.hpp"
+#include "core/pipeline.hpp"
+#include "mct/grid.hpp"
+#include "mct/merge.hpp"
+#include "mct/router.hpp"
+#include "mct/sparse_matrix.hpp"
+#include "prmi/distributed_framework.hpp"
+#include "rt/runtime.hpp"
+#include "sched/executor.hpp"
+#include "sidl/parser.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace mct = mxn::mct;
+namespace prmi = mxn::prmi;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Point;
+
+TEST(Integration, ChainedRedistributionsPreserveData) {
+  // block(3) -> cyclic(2) -> explicit(4) over the same 5-process world;
+  // every hop re-decomposes over a different sub-cohort.
+  const dad::Index n = 24;
+  auto d1 = dad::make_regular(std::vector<AxisDist>{AxisDist::block(n, 3)});
+  auto d2 = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(n, 2)});
+  std::vector<dad::OwnedPatch> ps;
+  for (int r = 0; r < 4; ++r)
+    ps.push_back({dad::Patch::make(1, Point{r * 6}, Point{(r + 1) * 6}), r});
+  auto d3 = dad::make_explicit(1, Point{n}, ps, 4);
+
+  rt::spawn(5, [&](rt::Communicator& world) {
+    // Hop 1: ranks 0-2 -> ranks 3-4.
+    {
+      auto c = sched::split_coupling(world, 3, 2);
+      const int ms = c.my_src_rank(), md = c.my_dst_rank();
+      std::unique_ptr<dad::DistArray<double>> a, b;
+      if (ms >= 0) {
+        a = std::make_unique<dad::DistArray<double>>(d1, ms);
+        a->fill([](const Point& p) { return 7.0 * p[0]; });
+      }
+      if (md >= 0) b = std::make_unique<dad::DistArray<double>>(d2, md);
+      auto s = sched::build_region_schedule(*d1, *d2, ms, md);
+      sched::execute<double>(s, a.get(), b.get(), c, 11);
+      // Hop 2: ranks 3-4 -> ranks 0-3 (overlapping cohorts).
+      sched::Coupling c2;
+      c2.channel = world;
+      c2.src_ranks = {3, 4};
+      c2.dst_ranks = {0, 1, 2, 3};
+      const int m2 = c2.my_src_rank(), md2 = c2.my_dst_rank();
+      std::unique_ptr<dad::DistArray<double>> out;
+      if (md2 >= 0) out = std::make_unique<dad::DistArray<double>>(d3, md2);
+      auto s2 = sched::build_region_schedule(*d2, *d3, m2, md2);
+      sched::execute<double>(s2, b.get(), out.get(), c2, 12);
+      if (md2 >= 0) {
+        out->for_each_owned([](const Point& p, const double& v) {
+          EXPECT_DOUBLE_EQ(v, 7.0 * p[0]);
+        });
+      }
+    }
+  });
+}
+
+TEST(Integration, PipelineAroundMxNTransfer) {
+  // Producer exports in Kelvin; the consumer's pipeline converts to
+  // Fahrenheit and clamps — the §6 filter-chain pattern; the fused
+  // super-component must agree with stagewise execution.
+  const int m = 2, n = 2;
+  auto src_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(16, m)});
+  auto dst_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(16, n)});
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    const int side = world.rank() < m ? 0 : 1;
+    auto mxn = core::make_paired_mxn(world, m, n);
+    auto cohort = world.split(side, world.rank());
+    dad::DistArray<double> arr(side == 0 ? src_desc : dst_desc,
+                               cohort.rank());
+    if (side == 0)
+      arr.fill([](const Point& p) { return 273.15 + p[0]; });
+    mxn->register_field(
+        core::make_field("t", &arr, core::AccessMode::ReadWrite));
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "t";
+    spec.src_side = 0;
+    mxn->establish(spec);
+    mxn->data_ready("t");
+    if (side == 1) {
+      core::Pipeline p;
+      p.add(core::kelvin_to_fahrenheit_stage())
+          .add(core::clamp_stage(32.0, 50.0));
+      auto fused = p.fuse();
+      std::vector<double> stagewise(arr.local().begin(), arr.local().end());
+      p.apply(stagewise);
+      fused.apply(arr.local());
+      for (std::size_t i = 0; i < stagewise.size(); ++i)
+        EXPECT_DOUBLE_EQ(arr.local()[i], stagewise[i]);
+      arr.for_each_owned([](const Point& p2, const double& v) {
+        const double f = std::min(50.0, (273.15 + p2[0]) * 1.8 - 459.67);
+        EXPECT_NEAR(v, std::max(32.0, f), 1e-9);
+      });
+    }
+  });
+}
+
+TEST(Integration, PrmiDrivesMxNCoupledSolvers) {
+  // A controller (1 rank) uses PRMI to command a parallel solver (2 ranks)
+  // which redistributes its state to a viewer decomposition and reports a
+  // checksum back through the same call — method invocation and data
+  // redistribution composed in one application.
+  const char* sidl = R"(
+    package i { interface Ctl {
+      collective double step(in parallel array<double,1> state);
+    } }
+  )";
+  auto view_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(12, 2)});
+  auto ctl_desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(12)});
+  rt::spawn(3, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    fw.instantiate("controller", {0});
+    fw.instantiate("solver", {1, 2});
+    auto pkg = mxn::sidl::parse_package(sidl);
+    if (fw.member_of("solver")) {
+      auto cohort = fw.cohort("solver");
+      dad::DistArray<double> state(view_desc, cohort.rank());
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("Ctl"));
+      servant->bind("step", [&state](prmi::CalleeContext& ctx,
+                                     std::vector<prmi::Value>&)
+                                -> prmi::Value {
+        double local = 0;
+        for (double v : state.local()) local += v;
+        return ctx.cohort.allreduce(local,
+                                    [](double a, double b) { return a + b; });
+      });
+      servant->set_parallel_target(
+          "step", "state",
+          core::make_field("state", &state, core::AccessMode::ReadWrite));
+      fw.add_provides("solver", "ctl", servant);
+      fw.connect("controller", "ctl", "solver", "ctl");
+      fw.serve("solver", 1);
+    } else {
+      fw.register_uses("controller", "ctl", pkg.interface("Ctl"));
+      fw.connect("controller", "ctl", "solver", "ctl");
+      auto port = fw.get_port("controller", "ctl");
+      dad::DistArray<double> mine(ctl_desc, 0);
+      mine.fill([](const Point& p) { return double(p[0]); });
+      auto binding = core::make_field("s", &mine, core::AccessMode::Read);
+      auto r = port->call("step", {prmi::ParallelRef{&binding}});
+      EXPECT_DOUBLE_EQ(std::get<double>(r.ret), 66.0);  // 0+..+11
+    }
+  });
+}
+
+TEST(Integration, MiniClimateStepConservesEnergy) {
+  // Router -> conservative interpolation -> merge -> paired integrals, all
+  // in one spawn: the distilled climate_coupling example as a test.
+  const mct::Index nc = 9, nf = 2 * nc - 1;
+  auto atm_map = mct::GlobalSegMap::block(nc, 2);
+  auto atm_on_ocn = mct::GlobalSegMap::block(nc, 2);
+  auto ocn_map = mct::GlobalSegMap::block(nf, 2);
+  rt::spawn(4, [&](rt::Communicator& world) {
+    const bool is_atm = world.rank() < 2;
+    auto cohort = world.split(is_atm ? 0 : 1, world.rank());
+    mct::RouterConfig cfg;
+    cfg.channel = world;
+    cfg.cohort = cohort;
+    cfg.my_ranks = is_atm ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    cfg.peer_ranks = is_atm ? std::vector<int>{2, 3} : std::vector<int>{0, 1};
+    cfg.tag = 300;
+    if (is_atm) {
+      auto router = mct::Router::source(cfg, atm_map);
+      mct::AttrVect flux({"q"}, atm_map.local_size(cohort.rank()));
+      for (mct::Index l = 0; l < flux.length(); ++l)
+        flux.field(0)[l] = 5.0 + atm_map.global_index(cohort.rank(), l);
+      router.send(flux);
+    } else {
+      auto router = mct::Router::destination(cfg, atm_on_ocn);
+      const int me = cohort.rank();
+      std::vector<mct::SparseMatrix::Element> es;
+      for (const auto& s : ocn_map.segs_of(me)) {
+        for (auto r = s.start; r < s.start + s.length; ++r) {
+          if (r % 2 == 0) {
+            es.push_back({r, r / 2, 1.0});
+          } else {
+            es.push_back({r, r / 2, 0.5});
+            es.push_back({r, r / 2 + 1, 0.5});
+          }
+        }
+      }
+      mct::SparseMatrix interp(cohort, ocn_map, atm_on_ocn, es, 301);
+      mct::AttrVect in({"q"}, atm_on_ocn.local_size(me));
+      mct::AttrVect out({"q"}, ocn_map.local_size(me));
+      router.recv(in);
+      interp.matvec(in, out);
+      mct::GeneralGrid coarse({"x"}, in.length());
+      for (mct::Index l = 0; l < in.length(); ++l) {
+        const auto g = atm_on_ocn.global_index(me, l);
+        coarse.area()[l] = (g == 0 || g == nc - 1) ? 0.75 : 1.0;
+      }
+      mct::GeneralGrid fine({"x"}, out.length());
+      for (mct::Index l = 0; l < out.length(); ++l) fine.area()[l] = 0.5;
+      const double before = mct::spatial_integral(in, 0, coarse, cohort);
+      const double after = mct::spatial_integral(out, 0, fine, cohort);
+      EXPECT_NEAR(before, after, 1e-12);
+      // Merge with a constant ice flux and check bounds.
+      mct::AttrVect ice({"q"}, out.length());
+      for (mct::Index l = 0; l < out.length(); ++l) ice.field(0)[l] = 1.0;
+      std::vector<double> f_o(out.length(), 0.8), f_i(out.length(), 0.2);
+      mct::AttrVect blended({"q"}, out.length());
+      mct::merge(blended, {{&out, f_o}, {&ice, f_i}});
+      for (mct::Index l = 0; l < out.length(); ++l)
+        EXPECT_DOUBLE_EQ(blended.field(0)[l],
+                         0.8 * out.field(0)[l] + 0.2);
+    }
+  });
+}

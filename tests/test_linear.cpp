@@ -1,0 +1,133 @@
+// Tests for the linearization intermediate representation (src/linear):
+// segment algebra, axis-order mappings, and footprints with storage
+// provenance.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dad/dist_array.hpp"
+#include "linear/linearization.hpp"
+
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+using lin::Linearization;
+using lin::Segment;
+
+TEST(Segments, NormalizeSortsAndMerges) {
+  auto out = lin::normalize({{5, 9}, {0, 3}, {3, 5}, {12, 12}, {8, 10}});
+  EXPECT_EQ(out, (std::vector<Segment>{{0, 10}}));
+}
+
+TEST(Segments, IntersectTwoPointer) {
+  std::vector<Segment> a = {{0, 5}, {10, 20}, {30, 40}};
+  std::vector<Segment> b = {{3, 12}, {15, 35}};
+  auto c = lin::intersect(a, b);
+  EXPECT_EQ(c, (std::vector<Segment>{{3, 5}, {10, 12}, {15, 20}, {30, 35}}));
+  EXPECT_EQ(lin::total_length(c), 2 + 2 + 5 + 5);
+}
+
+TEST(Segments, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(lin::intersect({{0, 5}}, {{5, 9}}).empty());
+}
+
+TEST(Linearization, RowMajorMatchesOffsets) {
+  auto l = Linearization::row_major(2, Point{3, 4});
+  EXPECT_EQ(l.total(), 12);
+  EXPECT_EQ(l.offset_of(Point{0, 0}), 0);
+  EXPECT_EQ(l.offset_of(Point{0, 1}), 1);
+  EXPECT_EQ(l.offset_of(Point{1, 0}), 4);
+  EXPECT_EQ(l.fastest_axis(), 1);
+  EXPECT_TRUE(l.is_row_major());
+}
+
+TEST(Linearization, ColumnMajorReversesAxes) {
+  auto l = Linearization::column_major(2, Point{3, 4});
+  EXPECT_EQ(l.offset_of(Point{1, 0}), 1);
+  EXPECT_EQ(l.offset_of(Point{0, 1}), 3);
+  EXPECT_EQ(l.fastest_axis(), 0);
+  EXPECT_FALSE(l.is_row_major());
+}
+
+TEST(Linearization, OffsetPointRoundTrip) {
+  auto l = Linearization::axis_order(3, Point{2, 3, 4}, {1, 2, 0});
+  for (Index off = 0; off < l.total(); ++off)
+    EXPECT_EQ(l.offset_of(l.point_at(off)), off);
+}
+
+TEST(Linearization, RejectsBadOrder) {
+  EXPECT_THROW(Linearization::axis_order(2, Point{2, 2}, {0, 0}),
+               mxn::rt::UsageError);
+  EXPECT_THROW(Linearization::axis_order(2, Point{2, 2}, {0, 2}),
+               mxn::rt::UsageError);
+}
+
+TEST(Footprint, BlockDistributionIsOneSegment) {
+  auto d = dad::Descriptor::regular({AxisDist::block(12, 3)});
+  auto l = Linearization::row_major(1, Point{12});
+  EXPECT_EQ(lin::footprint(d, 0, l), (std::vector<Segment>{{0, 4}}));
+  EXPECT_EQ(lin::footprint(d, 2, l), (std::vector<Segment>{{8, 12}}));
+}
+
+TEST(Footprint, CyclicDistributionIsManySegments) {
+  auto d = dad::Descriptor::regular({AxisDist::cyclic(8, 2)});
+  auto l = Linearization::row_major(1, Point{8});
+  EXPECT_EQ(lin::footprint(d, 1, l),
+            (std::vector<Segment>{{1, 2}, {3, 4}, {5, 6}, {7, 8}}));
+}
+
+TEST(Footprint, TwoDimensionalBlockRowMajor) {
+  // 4x4 block over 2x2 grid; rank 1 owns rows 0-1, cols 2-3.
+  auto d = dad::Descriptor::regular(
+      {AxisDist::block(4, 2), AxisDist::block(4, 2)});
+  auto l = Linearization::row_major(2, Point{4, 4});
+  EXPECT_EQ(lin::footprint(d, 1, l), (std::vector<Segment>{{2, 4}, {6, 8}}));
+}
+
+TEST(Footprint, FootprintsPartitionLinearSpace) {
+  auto d = dad::Descriptor::regular(
+      {AxisDist::block_cyclic(9, 2, 2), AxisDist::cyclic(7, 3)});
+  for (const auto& l : {Linearization::row_major(2, Point{9, 7}),
+                        Linearization::column_major(2, Point{9, 7})}) {
+    std::vector<Segment> all;
+    for (int r = 0; r < d.nranks(); ++r) {
+      auto f = lin::footprint(d, r, l);
+      all.insert(all.end(), f.begin(), f.end());
+      // Footprint size equals local volume.
+      EXPECT_EQ(lin::total_length(f), d.local_volume(r));
+    }
+    auto merged = lin::normalize(all);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0], (Segment{0, 63}));
+    // Disjointness: total length conserved under merge.
+    EXPECT_EQ(lin::total_length(all), 63);
+  }
+}
+
+TEST(Footprint, ProvenanceLocatesEveryElement) {
+  auto desc = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(6, 2), AxisDist::cyclic(6, 2)});
+  auto l = Linearization::column_major(2, Point{6, 6});
+  for (int r = 0; r < desc->nranks(); ++r) {
+    dad::DistArray<int> a(desc, r);
+    a.fill([&](const Point& p) { return static_cast<int>(l.offset_of(p)); });
+    auto prov = lin::footprint_with_provenance(*desc, r, l);
+    for (const auto& ps : prov) {
+      for (Index k = ps.seg.lo; k < ps.seg.hi; ++k) {
+        const Index storage =
+            ps.storage_offset + (k - ps.seg.lo) * ps.storage_stride;
+        EXPECT_EQ(a.local()[static_cast<std::size_t>(storage)], k)
+            << "rank " << r << " linear index " << k;
+      }
+    }
+  }
+}
+
+TEST(Footprint, DimensionMismatchRejected) {
+  auto d = dad::Descriptor::regular({AxisDist::block(12, 3)});
+  auto l = Linearization::row_major(2, Point{3, 4});
+  EXPECT_THROW(lin::footprint(d, 0, l), mxn::rt::UsageError);
+}

@@ -1,0 +1,188 @@
+// Tests for totally-ordered PRMI serving (src/prmi serve_ordered): under
+// concurrent multi-client traffic every callee cohort rank must service the
+// same invocation sequence, so SPMD handlers that communicate in-cohort
+// (allreduce etc.) pair their collectives correctly — the "parallel
+// consistency" concern of §2.4.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "prmi/distributed_framework.hpp"
+#include "rt/runtime.hpp"
+#include "sidl/parser.hpp"
+
+namespace prmi = mxn::prmi;
+namespace rt = mxn::rt;
+using prmi::Value;
+
+namespace {
+
+const char* kSidl = R"(
+  package ord { interface S {
+    collective double echo_sum(in double x);
+    independent int poke(in int x);
+  } }
+)";
+
+/// Two single-rank clients hammer a 2-rank server concurrently; the handler
+/// allreduces its argument over the callee cohort. If the two cohort ranks
+/// ever service different calls simultaneously, the allreduce pairs
+/// mismatched arguments and a client sees a sum != 2 * its argument.
+void run_contention(bool ordered, int calls_per_client) {
+  rt::spawn(4, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    fw.instantiate("a", {0});
+    fw.instantiate("b", {1});
+    fw.instantiate("server", {2, 3});
+    auto pkg = mxn::sidl::parse_package(kSidl);
+    if (fw.member_of("server")) {
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("S"));
+      servant->bind("echo_sum", [](prmi::CalleeContext& ctx,
+                                   std::vector<Value>& args) -> Value {
+        return ctx.cohort.allreduce(
+            std::get<double>(args[0]),
+            [](double a, double b) { return a + b; });
+      });
+      fw.add_provides("server", "s", servant);
+      fw.connect("a", "s", "server", "s");
+      fw.connect("b", "s", "server", "s");
+      const int total = 2 * calls_per_client;
+      if (ordered)
+        EXPECT_EQ(fw.serve_ordered("server", total), total);
+      else
+        EXPECT_EQ(fw.serve("server", total), total);
+    } else {
+      const std::string me = world.rank() == 0 ? "a" : "b";
+      fw.register_uses(me, "s", pkg.interface("S"));
+      if (me == "a") {
+        fw.connect("a", "s", "server", "s");
+        fw.connect("b", "s", "server", "s");
+      } else {
+        fw.connect("a", "s", "server", "s");
+        fw.connect("b", "s", "server", "s");
+      }
+      auto port = fw.get_port(me, "s");
+      const double base = world.rank() == 0 ? 10.0 : 1000.0;
+      for (int i = 0; i < calls_per_client; ++i) {
+        auto r = port->call("echo_sum", {base + i});
+        EXPECT_DOUBLE_EQ(std::get<double>(r.ret), 2 * (base + i))
+            << "cohort ranks serviced mismatched invocations";
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TEST(PrmiOrdered, ConsistentUnderTwoClientContention) {
+  run_contention(/*ordered=*/true, 25);
+}
+
+TEST(PrmiOrdered, SingleClientBehavesLikeSerialServe) {
+  rt::spawn(3, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    fw.instantiate("c", {0});
+    fw.instantiate("server", {1, 2});
+    auto pkg = mxn::sidl::parse_package(kSidl);
+    if (fw.member_of("server")) {
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("S"));
+      servant->bind("echo_sum", [](prmi::CalleeContext& ctx,
+                                   std::vector<Value>& args) -> Value {
+        return ctx.cohort.allreduce(
+            std::get<double>(args[0]),
+            [](double a, double b) { return a + b; });
+      });
+      fw.add_provides("server", "s", servant);
+      fw.connect("c", "s", "server", "s");
+      // Serve-until-shutdown in ordered mode.
+      EXPECT_EQ(fw.serve_ordered("server", -1), 3);
+    } else {
+      fw.register_uses("c", "s", pkg.interface("S"));
+      fw.connect("c", "s", "server", "s");
+      auto port = fw.get_port("c", "s");
+      for (int i = 1; i <= 3; ++i) {
+        auto r = port->call("echo_sum", {double(i)});
+        EXPECT_DOUBLE_EQ(std::get<double>(r.ret), 2.0 * i);
+      }
+      port->shutdown_provider();
+    }
+  });
+}
+
+TEST(PrmiOrdered, IndependentCallsRejected) {
+  // The server's serve_ordered throws on the independent invocation; the
+  // blocked client is unwound by the abort path and spawn() rethrows the
+  // server's error.
+  EXPECT_THROW(
+      rt::spawn(2,
+                [&](rt::Communicator& world) {
+                  prmi::DistributedFramework fw(world);
+                  fw.instantiate("c", {0});
+                  fw.instantiate("server", {1});
+                  auto pkg = mxn::sidl::parse_package(kSidl);
+                  if (fw.member_of("server")) {
+                    auto servant = std::make_shared<prmi::Servant>(
+                        pkg.interface("S"));
+                    servant->bind("poke",
+                                  [](prmi::CalleeContext&,
+                                     std::vector<Value>& a) -> Value {
+                                    return std::get<std::int32_t>(a[0]);
+                                  });
+                    fw.add_provides("server", "s", servant);
+                    fw.connect("c", "s", "server", "s");
+                    fw.serve_ordered("server", 1);
+                  } else {
+                    fw.register_uses("c", "s", pkg.interface("S"));
+                    fw.connect("c", "s", "server", "s");
+                    auto port = fw.get_port("c", "s");
+                    (void)port->call_independent("poke", {std::int32_t(1)});
+                  }
+                }),
+      rt::UsageError);
+}
+
+TEST(PrmiOrdered, LayoutRequestsServicedTransparently) {
+  const char* sidl = R"(
+    package ord2 { interface P {
+      collective void push(in parallel array<double,1> d);
+    } }
+  )";
+  auto caller_desc = mxn::dad::make_regular(
+      std::vector<mxn::dad::AxisDist>{mxn::dad::AxisDist::block(8, 1)});
+  auto callee_desc = mxn::dad::make_regular(
+      std::vector<mxn::dad::AxisDist>{mxn::dad::AxisDist::block(8, 2)});
+  rt::spawn(3, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    fw.instantiate("c", {0});
+    fw.instantiate("server", {1, 2});
+    auto pkg = mxn::sidl::parse_package(sidl);
+    if (fw.member_of("server")) {
+      auto cohort = fw.cohort("server");
+      mxn::dad::DistArray<double> target(callee_desc, cohort.rank());
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("P"));
+      servant->bind("push",
+                    [](prmi::CalleeContext&, std::vector<Value>&) -> Value {
+                      return {};
+                    });
+      servant->set_parallel_target(
+          "push", "d",
+          mxn::core::make_field("d", &target, mxn::core::AccessMode::ReadWrite));
+      fw.add_provides("server", "s", servant);
+      fw.connect("c", "s", "server", "s");
+      EXPECT_EQ(fw.serve_ordered("server", 1), 1);
+      target.for_each_owned([](const mxn::dad::Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, 3.0 * p[0]);
+      });
+    } else {
+      fw.register_uses("c", "s", pkg.interface("P"));
+      fw.connect("c", "s", "server", "s");
+      auto port = fw.get_port("c", "s");
+      mxn::dad::DistArray<double> mine(caller_desc, 0);
+      mine.fill([](const mxn::dad::Point& p) { return 3.0 * p[0]; });
+      auto binding =
+          mxn::core::make_field("d", &mine, mxn::core::AccessMode::Read);
+      port->call("push", {prmi::ParallelRef{&binding}});
+    }
+  });
+}

@@ -1,0 +1,427 @@
+// Tests for communication-schedule computation and execution (src/sched):
+// builder correctness, the redistribution-is-a-permutation property across
+// random template pairs, linearization-based schedules (incl. transpose),
+// the receiver-driven protocol, and the schedule cache.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rt/runtime.hpp"
+#include "sched/cache.hpp"
+#include "sched/executor.hpp"
+#include "sched/receiver_driven.hpp"
+
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Descriptor;
+using dad::DescriptorPtr;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+double tagged(const Point& p) { return 1000.0 * p[0] + p[1] + 0.25; }
+double tagged1(const Point& p) { return static_cast<double>(p[0]) + 0.5; }
+
+/// Run a full M x N redistribution with spawn(M+N) and verify every
+/// destination element equals the source value at the same global point.
+void run_redistribution(const DescriptorPtr& src, const DescriptorPtr& dst) {
+  const int m = src->nranks();
+  const int n = dst->nranks();
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank();
+    const int md = c.my_dst_rank();
+
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill(src->ndim() == 1 ? tagged1 : tagged);
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+    sched::execute<double>(s, a.get(), b.get(), c, 7);
+
+    if (md >= 0) {
+      b->for_each_owned([&](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, src->ndim() == 1 ? tagged1(p) : tagged(p))
+            << "at point " << p[0] << "," << p[1];
+      });
+    }
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Region schedule builder
+// ---------------------------------------------------------------------------
+
+TEST(RegionSchedule, ElementCountsAreConserved) {
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 3)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 4)});
+  Index sent = 0, received = 0;
+  for (int r = 0; r < 3; ++r)
+    sent += sched::build_region_schedule(*src, *dst, r, -1).send_elements();
+  for (int r = 0; r < 4; ++r)
+    received +=
+        sched::build_region_schedule(*src, *dst, -1, r).recv_elements();
+  EXPECT_EQ(sent, 24);
+  EXPECT_EQ(received, 24);
+}
+
+TEST(RegionSchedule, SenderAndReceiverViewsAgree) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(20, 2, 3), AxisDist::block(10, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(20, 4), AxisDist::collapsed(10)});
+  for (int s = 0; s < src->nranks(); ++s) {
+    auto send_view = sched::build_region_schedule(*src, *dst, s, -1);
+    for (const auto& pr : send_view.sends) {
+      auto recv_view = sched::build_region_schedule(*src, *dst, -1, pr.peer);
+      const auto it = std::find_if(
+          recv_view.recvs.begin(), recv_view.recvs.end(),
+          [&](const sched::PeerRegions& q) { return q.peer == s; });
+      ASSERT_NE(it, recv_view.recvs.end());
+      EXPECT_EQ(it->elements, pr.elements);
+      ASSERT_EQ(it->regions.size(), pr.regions.size());
+      for (std::size_t i = 0; i < pr.regions.size(); ++i)
+        EXPECT_EQ(it->regions[i], pr.regions[i]) << "piece " << i;
+    }
+  }
+}
+
+TEST(RegionSchedule, IdentityRedistributionIsSelfOnly) {
+  auto d = dad::make_regular(std::vector<AxisDist>{AxisDist::block(16, 4)});
+  auto s = sched::build_region_schedule(*d, *d, 1, 1);
+  ASSERT_EQ(s.sends.size(), 1u);
+  EXPECT_EQ(s.sends[0].peer, 1);
+  EXPECT_EQ(s.sends[0].elements, 4);
+}
+
+TEST(RegionSchedule, ShapeMismatchRejected) {
+  auto a = dad::make_regular(std::vector<AxisDist>{AxisDist::block(16, 4)});
+  auto b = dad::make_regular(std::vector<AxisDist>{AxisDist::block(17, 4)});
+  EXPECT_THROW(sched::build_region_schedule(*a, *b, 0, -1),
+               mxn::rt::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end redistribution: the Figure 1 scenario and friends
+// ---------------------------------------------------------------------------
+
+TEST(Redistribute, Fig1EightTo27ThreeDee) {
+  // The paper's Figure 1: M=8 (2x2x2 grid) exporting to N=27 (3x3x3 grid).
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(12, 2), AxisDist::block(12, 2), AxisDist::block(12, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(12, 3), AxisDist::block(12, 3), AxisDist::block(12, 3)});
+  const int m = src->nranks(), n = dst->nranks();
+  ASSERT_EQ(m, 8);
+  ASSERT_EQ(n, 27);
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<float>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<float>>(src, ms);
+      a->fill([](const Point& p) {
+        return static_cast<float>(p[0] * 144 + p[1] * 12 + p[2]);
+      });
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<float>>(dst, md);
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+    sched::execute<float>(s, a.get(), b.get(), c, 3);
+    if (md >= 0) {
+      b->for_each_owned([&](const Point& p, const float& v) {
+        EXPECT_EQ(v, static_cast<float>(p[0] * 144 + p[1] * 12 + p[2]));
+      });
+    }
+  });
+}
+
+TEST(Redistribute, BlockToBlockDifferentCounts) {
+  run_redistribution(
+      dad::make_regular(std::vector<AxisDist>{AxisDist::block(30, 3)}),
+      dad::make_regular(std::vector<AxisDist>{AxisDist::block(30, 5)}));
+}
+
+TEST(Redistribute, BlockToCyclic) {
+  run_redistribution(
+      dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 4)}),
+      dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 3)}));
+}
+
+TEST(Redistribute, GeneralizedBlockToExplicit) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::generalized_block({7, 0, 9}), AxisDist::block(4, 2)});
+  auto dst = dad::make_explicit(
+      2, Point{16, 4},
+      {{dad::Patch::make(2, Point{0, 0}, Point{16, 1}), 0},
+       {dad::Patch::make(2, Point{0, 1}, Point{5, 4}), 1},
+       {dad::Patch::make(2, Point{5, 1}, Point{16, 4}), 2}},
+      3);
+  run_redistribution(src, dst);
+}
+
+TEST(Redistribute, ImplicitAxisSource) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::implicit({0, 1, 1, 0, 2, 2, 1, 0, 2, 0, 1, 2})});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::block(12, 2)});
+  run_redistribution(src, dst);
+}
+
+TEST(Redistribute, SerialToParallelAndBack) {
+  // N=1 on one side: the CUMULVS visualization / steering pattern.
+  auto par = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(10, 4), AxisDist::block(6, 1)});
+  auto ser = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(10), AxisDist::collapsed(6)});
+  run_redistribution(par, ser);
+  run_redistribution(ser, par);
+}
+
+TEST(Redistribute, SelfCouplingTranspose) {
+  // Same cohort re-decomposes a square array from row-block to col-block.
+  auto rows = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(8, 4), AxisDist::collapsed(8)});
+  auto cols = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(8), AxisDist::block(8, 4)});
+  rt::spawn(4, [&](rt::Communicator& world) {
+    auto c = sched::self_coupling(world);
+    dad::DistArray<double> a(rows, world.rank());
+    dad::DistArray<double> b(cols, world.rank());
+    a.fill(tagged);
+    auto s = sched::build_region_schedule(*rows, *cols, world.rank(),
+                                          world.rank());
+    sched::execute<double>(s, &a, &b, c, 5);
+    b.for_each_owned([&](const Point& p, const double& v) {
+      EXPECT_DOUBLE_EQ(v, tagged(p));
+    });
+  });
+}
+
+// Property sweep: random template pairs, checked as full permutations.
+class RedistributionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedistributionSweep, RandomTemplatePairsArePermutations) {
+  std::mt19937 rng(GetParam());
+  auto rand_axis = [&](Index extent) {
+    std::uniform_int_distribution<int> kind(0, 3);
+    std::uniform_int_distribution<int> np(1, 4);
+    switch (kind(rng)) {
+      case 0:
+        return AxisDist::block(extent, np(rng));
+      case 1:
+        return AxisDist::cyclic(extent, np(rng));
+      case 2: {
+        std::uniform_int_distribution<Index> blk(1, 5);
+        return AxisDist::block_cyclic(extent, np(rng), blk(rng));
+      }
+      default: {
+        const int p = np(rng);
+        std::vector<Index> sizes(p, 0);
+        for (Index i = 0; i < extent; ++i) {
+          std::uniform_int_distribution<int> pick(0, p - 1);
+          ++sizes[pick(rng)];
+        }
+        // All-zero guard: dump everything on proc 0 if unlucky.
+        Index tot = 0;
+        for (auto s : sizes) tot += s;
+        if (tot == 0) sizes[0] = extent;
+        return AxisDist::generalized_block(std::move(sizes));
+      }
+    }
+  };
+  const Index e0 = 11, e1 = 9;
+  auto src = std::make_shared<const Descriptor>(
+      Descriptor::regular({rand_axis(e0), rand_axis(e1)}));
+  auto dst = std::make_shared<const Descriptor>(
+      Descriptor::regular({rand_axis(e0), rand_axis(e1)}));
+  run_redistribution(src, dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedistributionSweep,
+                         ::testing::Range(1, 13));
+
+TEST(RegionSchedule, PruningIsExact) {
+  // Bounding-box pruning must never change the schedule, across irregular
+  // template pairs (including ranks owning nothing).
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::generalized_block({7, 0, 9}), AxisDist::block(6, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(16, 3, 2), AxisDist::cyclic(6, 2)});
+  for (int r = 0; r < src->nranks(); ++r) {
+    auto a = sched::build_region_schedule(*src, *dst, r, -1, true);
+    auto b = sched::build_region_schedule(*src, *dst, r, -1, false);
+    ASSERT_EQ(a.sends.size(), b.sends.size());
+    for (std::size_t i = 0; i < a.sends.size(); ++i) {
+      EXPECT_EQ(a.sends[i].peer, b.sends[i].peer);
+      EXPECT_EQ(a.sends[i].regions, b.sends[i].regions);
+    }
+  }
+  for (int r = 0; r < dst->nranks(); ++r) {
+    auto a = sched::build_region_schedule(*src, *dst, -1, r, true);
+    auto b = sched::build_region_schedule(*src, *dst, -1, r, false);
+    ASSERT_EQ(a.recvs.size(), b.recvs.size());
+    for (std::size_t i = 0; i < a.recvs.size(); ++i)
+      EXPECT_EQ(a.recvs[i].elements, b.recvs[i].elements);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment (linearization) schedules
+// ---------------------------------------------------------------------------
+
+TEST(SegmentSchedule, MatchesRegionScheduleResult) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(12, 2), AxisDist::block(8, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(12, 3), AxisDist::block(8, 2)});
+  const auto l = lin::Linearization::row_major(2, Point{12, 8});
+  const int m = src->nranks(), n = dst->nranks();
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    std::vector<lin::ProvenancedSegment> pa, pb;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill(tagged);
+      pa = lin::footprint_with_provenance(*src, ms, l);
+    }
+    if (md >= 0) {
+      b = std::make_unique<dad::DistArray<double>>(dst, md);
+      pb = lin::footprint_with_provenance(*dst, md, l);
+    }
+    auto s = sched::build_segment_schedule(*src, l, *dst, l, ms, md);
+    sched::execute<double>(s, a.get(), ms >= 0 ? &pa : nullptr, b.get(),
+                           md >= 0 ? &pb : nullptr, c, 9);
+    if (md >= 0)
+      b->for_each_owned([&](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, tagged(p));
+      });
+  });
+}
+
+TEST(SegmentSchedule, MismatchedLinearizationsExpressTranspose) {
+  // Source linearized row-major, destination column-major over the
+  // transposed shape: dst(i,j) = src(j,i).
+  const Index rows = 6, cols = 4;
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(rows, 2), AxisDist::collapsed(cols)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(cols, 2), AxisDist::collapsed(rows)});
+  const auto lsrc = lin::Linearization::row_major(2, Point{rows, cols});
+  // Column-major over the (cols, rows)-shaped destination enumerates
+  // dst(:, k) fastest — the same order as src rows.
+  const auto ldst = lin::Linearization::column_major(2, Point{cols, rows});
+  rt::spawn(4, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, 2, 2);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    std::vector<lin::ProvenancedSegment> pa, pb;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill(tagged);
+      pa = lin::footprint_with_provenance(*src, ms, lsrc);
+    }
+    if (md >= 0) {
+      b = std::make_unique<dad::DistArray<double>>(dst, md);
+      pb = lin::footprint_with_provenance(*dst, md, ldst);
+    }
+    auto s = sched::build_segment_schedule(*src, lsrc, *dst, ldst, ms, md);
+    sched::execute<double>(s, a.get(), ms >= 0 ? &pa : nullptr, b.get(),
+                           md >= 0 ? &pb : nullptr, c, 9);
+    if (md >= 0)
+      b->for_each_owned([&](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, tagged(Point{p[1], p[0]})) << p[0] << "," << p[1];
+      });
+  });
+}
+
+TEST(SegmentSchedule, TotalMismatchRejected) {
+  auto a = dad::make_regular(std::vector<AxisDist>{AxisDist::block(16, 2)});
+  auto b = dad::make_regular(std::vector<AxisDist>{AxisDist::block(12, 2)});
+  EXPECT_THROW(
+      sched::build_segment_schedule(
+          *a, lin::Linearization::row_major(1, Point{16}), *b,
+          lin::Linearization::row_major(1, Point{12}), 0, -1),
+      mxn::rt::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Receiver-driven protocol
+// ---------------------------------------------------------------------------
+
+TEST(ReceiverDriven, DeliversWithoutPrecomputedSchedule) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(18, 3), AxisDist::block(6, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block_cyclic(18, 2, 4), AxisDist::collapsed(6)});
+  const auto l = lin::Linearization::row_major(2, Point{18, 6});
+  const int m = src->nranks(), n = dst->nranks();
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill(tagged);
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+    sched::redistribute_receiver_driven<double>(a.get(), l, b.get(), l, c,
+                                                20);
+    if (md >= 0)
+      b->for_each_owned([&](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, tagged(p));
+      });
+  });
+}
+
+TEST(ReceiverDriven, SelfCouplingRedistributes) {
+  auto rows = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(8, 3), AxisDist::collapsed(5)});
+  auto cols = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::collapsed(8), AxisDist::block(5, 3)});
+  const auto l = lin::Linearization::row_major(2, Point{8, 5});
+  rt::spawn(3, [&](rt::Communicator& world) {
+    auto c = sched::self_coupling(world);
+    dad::DistArray<double> a(rows, world.rank());
+    dad::DistArray<double> b(cols, world.rank());
+    a.fill(tagged);
+    sched::redistribute_receiver_driven<double>(&a, l, &b, l, c, 30);
+    b.for_each_owned([&](const Point& p, const double& v) {
+      EXPECT_DOUBLE_EQ(v, tagged(p));
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Schedule cache
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleCache, HitsOnRepeatAndConformingArrays) {
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+  sched::ScheduleCache cache;
+  const auto& s1 = cache.get(src, dst, 0, -1);
+  const auto& s2 = cache.get(src, dst, 0, -1);
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A structurally equal descriptor (different object) also hits.
+  auto src2 = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2)});
+  cache.get(src2, dst, 0, -1);
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // Different role or template misses.
+  cache.get(src, dst, 1, -1);
+  EXPECT_EQ(cache.misses(), 2u);
+}

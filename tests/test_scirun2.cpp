@@ -1,0 +1,252 @@
+// Tests for the SCIRun2-style PRMI layer (src/scirun2): typed stubs
+// validated against SIDL signatures, collective/independent/oneway glue,
+// distributed-array parameters, and the run-time sub-setting mechanism.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rt/runtime.hpp"
+#include "scirun2/stub.hpp"
+
+namespace sr2 = mxn::scirun2;
+namespace prmi = mxn::prmi;
+namespace dad = mxn::dad;
+namespace core = mxn::core;
+namespace rt = mxn::rt;
+using dad::AxisDist;
+using dad::Point;
+using prmi::Value;
+
+namespace {
+
+const char* kSidl = R"(
+  package sim {
+    interface Field {
+      collective double norm(in parallel array<double,1> data);
+      collective long count_above(in parallel array<double,1> data,
+                                  in double threshold);
+      collective oneway void mark(in int step);
+      independent int probe(in int where);
+      collective string describe(in bool verbose);
+      collective double analyze(in double x, out long count,
+                                inout double acc);
+    }
+  }
+)";
+
+struct ServerState {
+  int marks = 0;
+};
+
+void run_pair(int m, int n, int server_calls,
+              const std::function<void(sr2::CompiledInterface&,
+                                       rt::Communicator&)>& client) {
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    prmi::DistributedFramework fw(world);
+    std::vector<int> cranks(m), sranks(n);
+    std::iota(cranks.begin(), cranks.end(), 0);
+    std::iota(sranks.begin(), sranks.end(), m);
+    fw.instantiate("client", cranks);
+    fw.instantiate("server", sranks);
+
+    ServerState state;
+    std::unique_ptr<dad::DistArray<double>> target;
+    if (fw.member_of("server")) {
+      auto cohort = fw.cohort("server");
+      auto desc = dad::make_regular(
+          std::vector<AxisDist>{AxisDist::block(16, n)});
+      target = std::make_unique<dad::DistArray<double>>(desc, cohort.rank());
+      auto pkg = mxn::sidl::parse_package(kSidl);
+      auto servant = std::make_shared<prmi::Servant>(pkg.interface("Field"));
+
+      servant->bind("norm", [&target](prmi::CalleeContext& ctx,
+                                      std::vector<Value>&) -> Value {
+        double local = 0;
+        for (double v : target->local()) local += v * v;
+        return ctx.cohort.allreduce(local,
+                                    [](double a, double b) { return a + b; });
+      });
+      servant->bind("count_above", [&target](prmi::CalleeContext& ctx,
+                                             std::vector<Value>& args)
+                                       -> Value {
+        const double thr = std::get<double>(args[1]);
+        std::int64_t local = 0;
+        for (double v : target->local())
+          if (v > thr) ++local;
+        return ctx.cohort.allreduce(
+            local, [](std::int64_t a, std::int64_t b) { return a + b; });
+      });
+      servant->bind("mark",
+                    [&state](prmi::CalleeContext&, std::vector<Value>&)
+                        -> Value {
+                      ++state.marks;
+                      return {};
+                    });
+      servant->bind("probe", [](prmi::CalleeContext& ctx,
+                                std::vector<Value>& args) -> Value {
+        return std::int32_t(std::get<std::int32_t>(args[0]) * 10 +
+                            ctx.cohort.rank());
+      });
+      servant->bind("analyze", [](prmi::CalleeContext&,
+                                  std::vector<Value>& args) -> Value {
+        const double x = std::get<double>(args[0]);
+        args[1] = std::int64_t(42);
+        args[2] = std::get<double>(args[2]) * 2.0;
+        return x + 1.0;
+      });
+      servant->bind("describe",
+                    [](prmi::CalleeContext&, std::vector<Value>& args)
+                        -> Value {
+                      return std::string(std::get<bool>(args[0])
+                                             ? "field[16] verbose"
+                                             : "field");
+                    });
+      for (const char* meth : {"norm", "count_above"})
+        servant->set_parallel_target(
+            meth, "data",
+            core::make_field("data", target.get(),
+                             core::AccessMode::ReadWrite));
+      fw.add_provides("server", "field", servant);
+      fw.connect("client", "field", "server", "field");
+      fw.serve("server", server_calls);
+    } else {
+      auto pkg = mxn::sidl::parse_package(kSidl);
+      fw.register_uses("client", "field", pkg.interface("Field"));
+      fw.connect("client", "field", "server", "field");
+      sr2::CompiledInterface iface(fw.get_port("client", "field"));
+      auto cohort = fw.cohort("client");
+      client(iface, cohort);
+    }
+  });
+}
+
+}  // namespace
+
+TEST(Scirun2, TypedStubCollectiveWithParallelArg) {
+  run_pair(2, 2, 1, [](sr2::CompiledInterface& iface,
+                       rt::Communicator& cohort) {
+    auto norm = iface.stub<double(sr2::Distributed)>("norm");
+    auto desc = dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block(16, 2)});
+    dad::DistArray<double> mine(desc, cohort.rank());
+    mine.fill([](const Point&) { return 2.0; });
+    auto binding = core::make_field("d", &mine, core::AccessMode::Read);
+    EXPECT_DOUBLE_EQ(norm(sr2::Distributed{&binding}), 16 * 4.0);
+  });
+}
+
+TEST(Scirun2, TypedStubWithMixedArgs) {
+  run_pair(2, 2, 1, [](sr2::CompiledInterface& iface,
+                       rt::Communicator& cohort) {
+    auto count =
+        iface.stub<std::int64_t(sr2::Distributed, double)>("count_above");
+    auto desc = dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block(16, 2)});
+    dad::DistArray<double> mine(desc, cohort.rank());
+    mine.fill([](const Point& p) { return static_cast<double>(p[0]); });
+    auto binding = core::make_field("d", &mine, core::AccessMode::Read);
+    EXPECT_EQ(count(sr2::Distributed{&binding}, 11.5), 4);  // 12..15
+  });
+}
+
+TEST(Scirun2, TypedStubScalarAndString) {
+  run_pair(1, 1, 2, [](sr2::CompiledInterface& iface, rt::Communicator&) {
+    auto describe = iface.stub<std::string(bool)>("describe");
+    EXPECT_EQ(describe(true), "field[16] verbose");
+    EXPECT_EQ(describe(false), "field");
+  });
+}
+
+TEST(Scirun2, OnewayAndIndependentStubs) {
+  run_pair(2, 2, 4, [](sr2::CompiledInterface& iface,
+                       rt::Communicator& cohort) {
+    auto mark = iface.stub<void(std::int32_t)>("mark");
+    mark(1);  // oneway collective: each callee rank gets it once
+    auto probe = iface.stub<std::int32_t(std::int32_t)>("probe");
+    // Independent: caller rank i -> callee rank i.
+    EXPECT_EQ(probe(7), 70 + cohort.rank());
+    // Sync with a collective so the serve count is deterministic: mark is
+    // 1 logical call per callee rank, probe 1 per callee rank, describe 2.
+    auto describe = iface.stub<std::string(bool)>("describe");
+    EXPECT_EQ(describe(false), "field");
+    EXPECT_EQ(describe(true), "field[16] verbose");
+  });
+}
+
+TEST(Scirun2, OutAndInoutTypedStubs) {
+  run_pair(2, 2, 1, [](sr2::CompiledInterface& iface, rt::Communicator&) {
+    auto analyze = iface.stub<double(double, sr2::Out<std::int64_t>,
+                                     sr2::InOut<double>)>("analyze");
+    std::int64_t count = 0;
+    double acc = 1.5;
+    const double r = analyze(3.0, sr2::Out<std::int64_t>{&count},
+                             sr2::InOut<double>{&acc});
+    EXPECT_DOUBLE_EQ(r, 4.0);
+    EXPECT_EQ(count, 42);
+    EXPECT_DOUBLE_EQ(acc, 3.0);
+  });
+}
+
+TEST(Scirun2, OutWrapperModeValidation) {
+  run_pair(1, 1, 0, [](sr2::CompiledInterface& iface, rt::Communicator&) {
+    // Missing wrappers: plain in-style signature must be rejected.
+    EXPECT_THROW(
+        (iface.stub<double(double, std::int64_t, double)>("analyze")),
+        rt::UsageError);
+    // Wrapper on an in-parameter is equally wrong.
+    EXPECT_THROW((iface.stub<std::string(sr2::Out<bool>)>("describe")),
+                 rt::UsageError);
+  });
+}
+
+TEST(Scirun2, StubSignatureValidation) {
+  run_pair(1, 1, 0, [](sr2::CompiledInterface& iface, rt::Communicator&) {
+    // Wrong return type.
+    EXPECT_THROW((iface.stub<std::int32_t(bool)>("describe")),
+                 rt::UsageError);
+    // Wrong arity.
+    EXPECT_THROW((iface.stub<std::string()>("describe")), rt::UsageError);
+    // Wrong parameter type.
+    EXPECT_THROW((iface.stub<std::string(double)>("describe")),
+                 rt::UsageError);
+    // Parallel parameter cannot bind to a plain vector.
+    EXPECT_THROW((iface.stub<double(std::vector<double>)>("norm")),
+                 rt::UsageError);
+    // Unknown method.
+    EXPECT_THROW((iface.stub<void()>("ghost")), std::out_of_range);
+  });
+}
+
+TEST(Scirun2, SubsetParticipation) {
+  // 4 callers; only cohort ranks {1,3} participate in a subset call. The
+  // callee-side parallel target is fed from arrays decomposed over the TWO
+  // participants.
+  run_pair(4, 2, 2, [](sr2::CompiledInterface& iface,
+                       rt::Communicator& cohort) {
+    // Full-cohort call first.
+    auto desc4 = dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block(16, 4)});
+    dad::DistArray<double> a4(desc4, cohort.rank());
+    a4.fill([](const Point&) { return 1.0; });
+    auto b4 = core::make_field("d", &a4, core::AccessMode::Read);
+    auto norm = iface.stub<double(sr2::Distributed)>("norm");
+    EXPECT_DOUBLE_EQ(norm(sr2::Distributed{&b4}), 16.0);
+
+    // Subset call by ranks {1,3}.
+    auto sub = iface.subset({1, 3});
+    if (cohort.rank() == 1 || cohort.rank() == 3) {
+      ASSERT_TRUE(sub.has_value());
+      auto desc2 = dad::make_regular(
+          std::vector<AxisDist>{AxisDist::block(16, 2)});
+      const int sub_rank = cohort.rank() == 1 ? 0 : 1;
+      dad::DistArray<double> a2(desc2, sub_rank);
+      a2.fill([](const Point&) { return 3.0; });
+      auto b2 = core::make_field("d", &a2, core::AccessMode::Read);
+      auto sub_norm = sub->stub<double(sr2::Distributed)>("norm");
+      EXPECT_DOUBLE_EQ(sub_norm(sr2::Distributed{&b2}), 16 * 9.0);
+    } else {
+      EXPECT_FALSE(sub.has_value());
+    }
+  });
+}
