@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dataready"
+  "../bench/bench_dataready.pdb"
+  "CMakeFiles/bench_dataready.dir/bench_dataready.cpp.o"
+  "CMakeFiles/bench_dataready.dir/bench_dataready.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataready.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dca"
+  "../bench/bench_dca.pdb"
+  "CMakeFiles/bench_dca.dir/bench_dca.cpp.o"
+  "CMakeFiles/bench_dca.dir/bench_dca.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_frameworks"
+  "../bench/bench_fig2_frameworks.pdb"
+  "CMakeFiles/bench_fig2_frameworks.dir/bench_fig2_frameworks.cpp.o"
+  "CMakeFiles/bench_fig2_frameworks.dir/bench_fig2_frameworks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_paired_mxn"
+  "../bench/bench_fig3_paired_mxn.pdb"
+  "CMakeFiles/bench_fig3_paired_mxn.dir/bench_fig3_paired_mxn.cpp.o"
+  "CMakeFiles/bench_fig3_paired_mxn.dir/bench_fig3_paired_mxn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_paired_mxn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_sync"
+  "../bench/bench_fig5_sync.pdb"
+  "CMakeFiles/bench_fig5_sync.dir/bench_fig5_sync.cpp.o"
+  "CMakeFiles/bench_fig5_sync.dir/bench_fig5_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_intercomm.cpp" "bench-build/CMakeFiles/bench_intercomm.dir/bench_intercomm.cpp.o" "gcc" "bench-build/CMakeFiles/bench_intercomm.dir/bench_intercomm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/intercomm/CMakeFiles/mxn_intercomm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mxn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mxn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/mxn_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/dad/CMakeFiles/mxn_dad.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mxn_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

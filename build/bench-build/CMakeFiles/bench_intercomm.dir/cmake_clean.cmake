@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_intercomm"
+  "../bench/bench_intercomm.pdb"
+  "CMakeFiles/bench_intercomm.dir/bench_intercomm.cpp.o"
+  "CMakeFiles/bench_intercomm.dir/bench_intercomm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intercomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linearization"
+  "../bench/bench_linearization.pdb"
+  "CMakeFiles/bench_linearization.dir/bench_linearization.cpp.o"
+  "CMakeFiles/bench_linearization.dir/bench_linearization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

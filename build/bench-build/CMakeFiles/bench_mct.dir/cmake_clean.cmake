@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mct"
+  "../bench/bench_mct.pdb"
+  "CMakeFiles/bench_mct.dir/bench_mct.cpp.o"
+  "CMakeFiles/bench_mct.dir/bench_mct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prmi"
+  "../bench/bench_prmi.pdb"
+  "CMakeFiles/bench_prmi.dir/bench_prmi.cpp.o"
+  "CMakeFiles/bench_prmi.dir/bench_prmi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rt"
+  "../bench/bench_rt.pdb"
+  "CMakeFiles/bench_rt.dir/bench_rt.cpp.o"
+  "CMakeFiles/bench_rt.dir/bench_rt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_schedule_cost"
+  "../bench/bench_schedule_cost.pdb"
+  "CMakeFiles/bench_schedule_cost.dir/bench_schedule_cost.cpp.o"
+  "CMakeFiles/bench_schedule_cost.dir/bench_schedule_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_coupling.dir/climate_coupling.cpp.o"
+  "CMakeFiles/climate_coupling.dir/climate_coupling.cpp.o.d"
+  "climate_coupling"
+  "climate_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

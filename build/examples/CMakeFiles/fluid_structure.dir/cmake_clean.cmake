@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_structure.dir/fluid_structure.cpp.o"
+  "CMakeFiles/fluid_structure.dir/fluid_structure.cpp.o.d"
+  "fluid_structure"
+  "fluid_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

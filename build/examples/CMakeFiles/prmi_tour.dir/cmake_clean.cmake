@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prmi_tour.dir/prmi_tour.cpp.o"
+  "CMakeFiles/prmi_tour.dir/prmi_tour.cpp.o.d"
+  "prmi_tour"
+  "prmi_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prmi_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

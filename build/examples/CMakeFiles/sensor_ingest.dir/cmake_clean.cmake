@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_ingest.dir/sensor_ingest.cpp.o"
+  "CMakeFiles/sensor_ingest.dir/sensor_ingest.cpp.o.d"
+  "sensor_ingest"
+  "sensor_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

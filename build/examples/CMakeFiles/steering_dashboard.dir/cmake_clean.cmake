@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_dashboard.dir/steering_dashboard.cpp.o"
+  "CMakeFiles/steering_dashboard.dir/steering_dashboard.cpp.o.d"
+  "steering_dashboard"
+  "steering_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_climate_coupling "/root/repo/build/examples/climate_coupling")
+set_tests_properties(example_climate_coupling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fluid_structure "/root/repo/build/examples/fluid_structure")
+set_tests_properties(example_fluid_structure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_steering_dashboard "/root/repo/build/examples/steering_dashboard")
+set_tests_properties(example_steering_dashboard PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_prmi_tour "/root/repo/build/examples/prmi_tour")
+set_tests_properties(example_prmi_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sensor_ingest "/root/repo/build/examples/sensor_ingest")
+set_tests_properties(example_sensor_ingest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;mxn_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rt")
+subdirs("dad")
+subdirs("linear")
+subdirs("sched")
+subdirs("core")
+subdirs("sidl")
+subdirs("prmi")
+subdirs("dca")
+subdirs("scirun2")
+subdirs("intercomm")
+subdirs("mct")
+subdirs("dri")
+subdirs("capi")

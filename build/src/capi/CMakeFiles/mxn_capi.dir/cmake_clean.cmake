@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_capi.dir/mxn_c.cpp.o"
+  "CMakeFiles/mxn_capi.dir/mxn_c.cpp.o.d"
+  "libmxn_capi.a"
+  "libmxn_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

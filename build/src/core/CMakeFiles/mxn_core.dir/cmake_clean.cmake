@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_core.dir/erased_exec.cpp.o"
+  "CMakeFiles/mxn_core.dir/erased_exec.cpp.o.d"
+  "CMakeFiles/mxn_core.dir/framework.cpp.o"
+  "CMakeFiles/mxn_core.dir/framework.cpp.o.d"
+  "CMakeFiles/mxn_core.dir/mxn_component.cpp.o"
+  "CMakeFiles/mxn_core.dir/mxn_component.cpp.o.d"
+  "libmxn_core.a"
+  "libmxn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

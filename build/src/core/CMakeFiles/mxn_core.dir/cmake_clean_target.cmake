@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmxn_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dad/alignment.cpp" "src/dad/CMakeFiles/mxn_dad.dir/alignment.cpp.o" "gcc" "src/dad/CMakeFiles/mxn_dad.dir/alignment.cpp.o.d"
+  "/root/repo/src/dad/axis.cpp" "src/dad/CMakeFiles/mxn_dad.dir/axis.cpp.o" "gcc" "src/dad/CMakeFiles/mxn_dad.dir/axis.cpp.o.d"
+  "/root/repo/src/dad/descriptor.cpp" "src/dad/CMakeFiles/mxn_dad.dir/descriptor.cpp.o" "gcc" "src/dad/CMakeFiles/mxn_dad.dir/descriptor.cpp.o.d"
+  "/root/repo/src/dad/geometry.cpp" "src/dad/CMakeFiles/mxn_dad.dir/geometry.cpp.o" "gcc" "src/dad/CMakeFiles/mxn_dad.dir/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mxn_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_dad.dir/alignment.cpp.o"
+  "CMakeFiles/mxn_dad.dir/alignment.cpp.o.d"
+  "CMakeFiles/mxn_dad.dir/axis.cpp.o"
+  "CMakeFiles/mxn_dad.dir/axis.cpp.o.d"
+  "CMakeFiles/mxn_dad.dir/descriptor.cpp.o"
+  "CMakeFiles/mxn_dad.dir/descriptor.cpp.o.d"
+  "CMakeFiles/mxn_dad.dir/geometry.cpp.o"
+  "CMakeFiles/mxn_dad.dir/geometry.cpp.o.d"
+  "libmxn_dad.a"
+  "libmxn_dad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_dad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

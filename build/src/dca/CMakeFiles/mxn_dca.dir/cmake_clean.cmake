@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_dca.dir/framework.cpp.o"
+  "CMakeFiles/mxn_dca.dir/framework.cpp.o.d"
+  "libmxn_dca.a"
+  "libmxn_dca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_dca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_dri.dir/dri.cpp.o"
+  "CMakeFiles/mxn_dri.dir/dri.cpp.o.d"
+  "libmxn_dri.a"
+  "libmxn_dri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_dri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

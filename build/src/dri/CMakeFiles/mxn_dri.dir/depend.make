@@ -1,0 +1,2 @@
+# Empty dependencies file for mxn_dri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_intercomm.dir/coupler.cpp.o"
+  "CMakeFiles/mxn_intercomm.dir/coupler.cpp.o.d"
+  "CMakeFiles/mxn_intercomm.dir/distributed_schedule.cpp.o"
+  "CMakeFiles/mxn_intercomm.dir/distributed_schedule.cpp.o.d"
+  "libmxn_intercomm.a"
+  "libmxn_intercomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_intercomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

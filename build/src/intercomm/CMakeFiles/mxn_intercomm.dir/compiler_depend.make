@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mxn_intercomm.
+# This may be replaced when dependencies are built.

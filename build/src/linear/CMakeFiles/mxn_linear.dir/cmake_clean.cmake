@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_linear.dir/linearization.cpp.o"
+  "CMakeFiles/mxn_linear.dir/linearization.cpp.o.d"
+  "libmxn_linear.a"
+  "libmxn_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

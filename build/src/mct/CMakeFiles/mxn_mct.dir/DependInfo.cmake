@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mct/global_seg_map.cpp" "src/mct/CMakeFiles/mxn_mct.dir/global_seg_map.cpp.o" "gcc" "src/mct/CMakeFiles/mxn_mct.dir/global_seg_map.cpp.o.d"
+  "/root/repo/src/mct/router.cpp" "src/mct/CMakeFiles/mxn_mct.dir/router.cpp.o" "gcc" "src/mct/CMakeFiles/mxn_mct.dir/router.cpp.o.d"
+  "/root/repo/src/mct/sparse_matrix.cpp" "src/mct/CMakeFiles/mxn_mct.dir/sparse_matrix.cpp.o" "gcc" "src/mct/CMakeFiles/mxn_mct.dir/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/mxn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/mxn_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mxn_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dad/CMakeFiles/mxn_dad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_mct.dir/global_seg_map.cpp.o"
+  "CMakeFiles/mxn_mct.dir/global_seg_map.cpp.o.d"
+  "CMakeFiles/mxn_mct.dir/router.cpp.o"
+  "CMakeFiles/mxn_mct.dir/router.cpp.o.d"
+  "CMakeFiles/mxn_mct.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/mxn_mct.dir/sparse_matrix.cpp.o.d"
+  "libmxn_mct.a"
+  "libmxn_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

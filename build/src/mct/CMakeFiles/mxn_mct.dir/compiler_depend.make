@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mxn_mct.
+# This may be replaced when dependencies are built.

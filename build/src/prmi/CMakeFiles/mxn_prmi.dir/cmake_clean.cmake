@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_prmi.dir/distributed_framework.cpp.o"
+  "CMakeFiles/mxn_prmi.dir/distributed_framework.cpp.o.d"
+  "CMakeFiles/mxn_prmi.dir/value.cpp.o"
+  "CMakeFiles/mxn_prmi.dir/value.cpp.o.d"
+  "libmxn_prmi.a"
+  "libmxn_prmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_prmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

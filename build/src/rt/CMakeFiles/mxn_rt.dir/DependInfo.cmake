@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/communicator.cpp" "src/rt/CMakeFiles/mxn_rt.dir/communicator.cpp.o" "gcc" "src/rt/CMakeFiles/mxn_rt.dir/communicator.cpp.o.d"
+  "/root/repo/src/rt/mailbox.cpp" "src/rt/CMakeFiles/mxn_rt.dir/mailbox.cpp.o" "gcc" "src/rt/CMakeFiles/mxn_rt.dir/mailbox.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/mxn_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/mxn_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/rt/universe.cpp" "src/rt/CMakeFiles/mxn_rt.dir/universe.cpp.o" "gcc" "src/rt/CMakeFiles/mxn_rt.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

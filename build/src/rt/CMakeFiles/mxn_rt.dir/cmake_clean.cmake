@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_rt.dir/communicator.cpp.o"
+  "CMakeFiles/mxn_rt.dir/communicator.cpp.o.d"
+  "CMakeFiles/mxn_rt.dir/mailbox.cpp.o"
+  "CMakeFiles/mxn_rt.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mxn_rt.dir/runtime.cpp.o"
+  "CMakeFiles/mxn_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/mxn_rt.dir/universe.cpp.o"
+  "CMakeFiles/mxn_rt.dir/universe.cpp.o.d"
+  "libmxn_rt.a"
+  "libmxn_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_sched.dir/schedule.cpp.o"
+  "CMakeFiles/mxn_sched.dir/schedule.cpp.o.d"
+  "libmxn_sched.a"
+  "libmxn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

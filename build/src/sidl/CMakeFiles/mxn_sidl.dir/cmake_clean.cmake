@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_sidl.dir/parser.cpp.o"
+  "CMakeFiles/mxn_sidl.dir/parser.cpp.o.d"
+  "CMakeFiles/mxn_sidl.dir/types.cpp.o"
+  "CMakeFiles/mxn_sidl.dir/types.cpp.o.d"
+  "libmxn_sidl.a"
+  "libmxn_sidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_sidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mxn_sidl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mxn.dir/test_core_mxn.cpp.o"
+  "CMakeFiles/test_core_mxn.dir/test_core_mxn.cpp.o.d"
+  "test_core_mxn"
+  "test_core_mxn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mxn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

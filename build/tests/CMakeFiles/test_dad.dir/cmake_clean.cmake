@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dad.dir/test_dad.cpp.o"
+  "CMakeFiles/test_dad.dir/test_dad.cpp.o.d"
+  "test_dad"
+  "test_dad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dca.dir/test_dca.cpp.o"
+  "CMakeFiles/test_dca.dir/test_dca.cpp.o.d"
+  "test_dca"
+  "test_dca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

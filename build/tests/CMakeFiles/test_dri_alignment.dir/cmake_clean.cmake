@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dri_alignment.dir/test_dri_alignment.cpp.o"
+  "CMakeFiles/test_dri_alignment.dir/test_dri_alignment.cpp.o.d"
+  "test_dri_alignment"
+  "test_dri_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dri_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

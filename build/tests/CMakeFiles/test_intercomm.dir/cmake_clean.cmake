@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intercomm.dir/test_intercomm.cpp.o"
+  "CMakeFiles/test_intercomm.dir/test_intercomm.cpp.o.d"
+  "test_intercomm"
+  "test_intercomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intercomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

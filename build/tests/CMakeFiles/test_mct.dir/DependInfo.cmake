@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mct.cpp" "tests/CMakeFiles/test_mct.dir/test_mct.cpp.o" "gcc" "tests/CMakeFiles/test_mct.dir/test_mct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mct/CMakeFiles/mxn_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mxn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/mxn_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/dad/CMakeFiles/mxn_dad.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mxn_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mct.dir/test_mct.cpp.o"
+  "CMakeFiles/test_mct.dir/test_mct.cpp.o.d"
+  "test_mct"
+  "test_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

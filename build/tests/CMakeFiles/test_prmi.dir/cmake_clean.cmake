@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prmi.dir/test_prmi.cpp.o"
+  "CMakeFiles/test_prmi.dir/test_prmi.cpp.o.d"
+  "test_prmi"
+  "test_prmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prmi_ordered.dir/test_prmi_ordered.cpp.o"
+  "CMakeFiles/test_prmi_ordered.dir/test_prmi_ordered.cpp.o.d"
+  "test_prmi_ordered"
+  "test_prmi_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prmi_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

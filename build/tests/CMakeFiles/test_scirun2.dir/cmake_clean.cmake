@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scirun2.dir/test_scirun2.cpp.o"
+  "CMakeFiles/test_scirun2.dir/test_scirun2.cpp.o.d"
+  "test_scirun2"
+  "test_scirun2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scirun2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

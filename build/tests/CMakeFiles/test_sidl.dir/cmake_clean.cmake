@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidl.dir/test_sidl.cpp.o"
+  "CMakeFiles/test_sidl.dir/test_sidl.cpp.o.d"
+  "test_sidl"
+  "test_sidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
