@@ -13,6 +13,7 @@
 #include "dca/framework.hpp"
 #include "rt/runtime.hpp"
 #include "sidl/parser.hpp"
+#include "trace/trace.hpp"
 
 namespace dca = mxn::dca;
 namespace rt = mxn::rt;
@@ -118,6 +119,16 @@ int main() {
               run_scenario(true).c_str());
   std::printf("  delivery on first arrival (no barrier)  : %s\n\n",
               run_scenario(false).c_str());
+  if (mxn::trace::enabled()) {
+    // The trace at this point holds both scenarios: the completed one and
+    // the deadlocked one (whose last events show who was blocked where).
+    const char* path = "trace_fig5_sync.json";
+    if (mxn::trace::write_chrome_trace(path))
+      std::printf("trace: wrote %s (load in https://ui.perfetto.dev)\n",
+                  path);
+    else
+      std::printf("trace: could not write %s\n", path);
+  }
 
   std::printf("Cost of the fix: per-call overhead of barrier-delayed "
               "delivery\n");

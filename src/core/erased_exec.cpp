@@ -1,5 +1,7 @@
 #include "core/erased_exec.hpp"
 
+#include "trace/trace.hpp"
+
 namespace mxn::core {
 
 using rt::UsageError;
@@ -8,6 +10,9 @@ MovedCounts execute_erased(const sched::RegionSchedule& s,
                            const FieldRegistration* src,
                            const FieldRegistration* dst,
                            const sched::Coupling& c, int tag) {
+  trace::Span span("sched.execute", "sched",
+                   static_cast<std::uint64_t>(s.send_elements() +
+                                              s.recv_elements()));
   MovedCounts moved;
   rt::Communicator channel = c.channel;
   if (!s.sends.empty()) {

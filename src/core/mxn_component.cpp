@@ -4,6 +4,7 @@
 
 #include "core/erased_exec.hpp"
 #include "sched/schedule.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::core {
 
@@ -127,6 +128,7 @@ ConnectionId MxNComponent::accept_proposal() {
 }
 
 ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
+  trace::Span span("mxn.establish", "mxn");
   if (spec.src_side != 0 && spec.src_side != 1)
     throw UsageError("spec.src_side must be 0 or 1");
   if (spec.period < 1) throw UsageError("spec.period must be >= 1");
@@ -182,6 +184,8 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
 }
 
 void MxNComponent::run_transfer(Connection& c) {
+  trace::Span span("mxn.transfer", "mxn",
+                   static_cast<std::uint64_t>(c.seq));
   const FieldRegistration* src =
       c.i_am_src ? &field(c.spec.src_field) : nullptr;
   const FieldRegistration* dst =
@@ -190,8 +194,13 @@ void MxNComponent::run_transfer(Connection& c) {
       execute_erased(*c.schedule, src, dst, c.coupling, c.data_tag());
   c.stats.elements += moved.elements;
   c.stats.bytes += moved.bytes;
+  static trace::Counter& transfers = trace::counter("mxn.transfers");
+  static trace::Counter& bytes = trace::counter("mxn.bytes");
+  transfers.add(1);
+  bytes.add(moved.bytes);
 
   if (c.spec.handshake) {
+    trace::Span hs("mxn.handshake", "mxn");
     rt::Communicator channel = c.coupling.channel;
     if (c.i_am_dst) {
       for (const auto& pr : c.schedule->recvs)
@@ -207,6 +216,7 @@ void MxNComponent::run_transfer(Connection& c) {
 }
 
 int MxNComponent::data_ready(const std::string& field_name) {
+  trace::Span span("mxn.data_ready", "mxn");
   // Require the field to exist, even if no connection currently moves it.
   (void)field(field_name);
   int moved = 0;

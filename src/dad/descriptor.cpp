@@ -70,6 +70,19 @@ Descriptor Descriptor::explicit_patches(int ndim, const Point& extents,
 }
 
 void Descriptor::finalize() {
+  // Structural hash: FNV-1a over the canonical serialization, which covers
+  // exactly the fields operator== compares.
+  {
+    rt::PackBuffer b;
+    pack(b);
+    const auto bytes = std::move(b).take();
+    std::size_t h = 1469598103934665603ull;
+    for (std::byte c : bytes) {
+      h ^= static_cast<std::size_t>(c);
+      h *= 1099511628211ull;
+    }
+    hash_ = h;
+  }
   rank_patches_.assign(nranks_, {});
   if (explicit_) {
     for (const auto& op : all_patches_)

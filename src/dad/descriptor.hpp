@@ -99,6 +99,11 @@ class Descriptor {
   /// same-shape templates can be coupled by redistribution.
   [[nodiscard]] bool same_shape(const Descriptor& other) const;
 
+  /// Hash of the full structural identity (kind, extents, axes / patch
+  /// list): equal descriptors hash equally. Precomputed at construction, so
+  /// lookups keyed by it (e.g. ScheduleCache) pay O(1) per query.
+  [[nodiscard]] std::size_t structural_hash() const { return hash_; }
+
   /// Size of the descriptor metadata proportional to the array (counts the
   /// per-element entries of implicit axes and the patch list of explicit
   /// templates). Compact descriptors have O(P) entries; structureless ones
@@ -114,7 +119,7 @@ class Descriptor {
 
  private:
   Descriptor() = default;
-  void finalize();  // builds rank_patches_ etc. for regular templates
+  void finalize();  // builds rank_patches_, hash_, etc.
 
   bool explicit_ = false;
   int ndim_ = 0;
@@ -122,6 +127,7 @@ class Descriptor {
   int nranks_ = 0;
   std::vector<AxisDist> axes_;            // regular only
   std::vector<OwnedPatch> all_patches_;   // explicit only
+  std::size_t hash_ = 0;
 
   // Derived, precomputed:
   std::vector<std::vector<Patch>> rank_patches_;

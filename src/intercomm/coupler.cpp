@@ -1,6 +1,7 @@
 #include "intercomm/coupler.hpp"
 
 #include "intercomm/distributed_schedule.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::intercomm {
 
@@ -92,6 +93,7 @@ Exporter Exporter::partitioned(EndpointConfig cfg,
 }
 
 void Exporter::do_export(std::int64_t ts) {
+  trace::Span span("ic.export", "ic", static_cast<std::uint64_t>(ts));
   if (ts <= max_ts_ && max_ts_ != INT64_MIN)
     throw UsageError("export timestamps must be strictly increasing");
   max_ts_ = ts;
@@ -206,6 +208,7 @@ void Exporter::answer(std::int64_t requested,
   }
   if (!snapshot) {
     ++stats_.unmatched;
+    trace::instant("ic.unmatched", "ic");
     return;
   }
   const Snapshot& snap = buffer_[*snapshot];
@@ -215,6 +218,8 @@ void Exporter::answer(std::int64_t requested,
     stats_.elements += static_cast<std::uint64_t>(sched_.sends[i].elements);
   }
   ++stats_.transfers;
+  static trace::Counter& transfers = trace::counter("ic.transfers");
+  transfers.add(1);
 }
 
 void Exporter::finalize() {
@@ -259,6 +264,7 @@ Importer Importer::partitioned(EndpointConfig cfg,
 }
 
 std::int64_t Importer::do_import(std::int64_t ts) {
+  trace::Span span("ic.import", "ic", static_cast<std::uint64_t>(ts));
   if (closed_) throw UsageError("importer already closed");
   if (cfg_.cohort.rank() == 0) {
     rt::PackBuffer b;

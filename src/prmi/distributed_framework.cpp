@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/erased_exec.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::prmi {
 
@@ -381,6 +382,8 @@ void DistributedFramework::handle_invoke(ConnectionInfo& conn,
                                          Servant& servant,
                                          rt::UnpackBuffer& u,
                                          bool independent, int src_world) {
+  trace::Span span("prmi.handle", "prmi",
+                   static_cast<std::uint64_t>(conn.id));
   const int seq = u.unpack<int>();
   const int midx = u.unpack<int>();
   const auto participants = u.unpack_vector<int>();
@@ -659,48 +662,60 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
 
   const int seq = ++*seq_;
 
+  static trace::Histogram& invoke_ns = trace::histogram("prmi.invoke_ns");
+  static trace::Counter& invocations = trace::counter("prmi.invocations");
+  invocations.add(1);
+  trace::Span invoke_span("prmi.invoke", "prmi",
+                          static_cast<std::uint64_t>(seq), &invoke_ns);
+
   // Header. It carries the participants' world ranks: with subset
   // participation the callee cannot derive them from static connection
   // metadata ("any parallel remote invocation must somehow include
   // sufficient information to identify the participating tasks", §2.4).
   rt::PackBuffer b;
-  b.pack(static_cast<std::uint8_t>(kind));
-  b.pack(conn_);
-  b.pack(seq);
-  b.pack(midx);
-  b.pack(participants_world_);
-  for (std::size_t i = 0; i < m.params.size(); ++i) {
-    const auto& p = m.params[i];
-    if (!p.type.parallel && takes_input(p.mode))
-      pack_value(b, args[i], p.type);
+  {
+    trace::Span marshal("prmi.marshal", "prmi");
+    b.pack(static_cast<std::uint8_t>(kind));
+    b.pack(conn_);
+    b.pack(seq);
+    b.pack(midx);
+    b.pack(participants_world_);
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      const auto& p = m.params[i];
+      if (!p.type.parallel && takes_input(p.mode))
+        pack_value(b, args[i], p.type);
+    }
+    for (int p : pidx)
+      std::get<ParallelRef>(args[p]).binding->descriptor->pack(b);
   }
-  for (int p : pidx)
-    std::get<ParallelRef>(args[p]).binding->descriptor->pack(b);
   const auto header = std::move(b).take();
 
-  if (independent) {
-    if (target < 0) target = my % callee_count;
-    if (target >= callee_count)
-      throw UsageError("independent call target rank out of range");
-    fw_->world_.send(conn.callee_ranks[target], conn.listen, header);
-  } else {
-    for (int j = my; j < callee_count; j += caller_count)
-      fw_->world_.send(conn.callee_ranks[j], conn.listen, header);
-  }
+  {
+    trace::Span deliver("prmi.deliver", "prmi", header.size());
+    if (independent) {
+      if (target < 0) target = my % callee_count;
+      if (target >= callee_count)
+        throw UsageError("independent call target rank out of range");
+      fw_->world_.send(conn.callee_ranks[target], conn.listen, header);
+    } else {
+      for (int j = my; j < callee_count; j += caller_count)
+        fw_->world_.send(conn.callee_ranks[j], conn.listen, header);
+    }
 
-  // Parallel inputs.
-  if (!pidx.empty()) {
-    auto coupling =
-        make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
-    for (std::size_t k = 0; k < pidx.size(); ++k) {
-      const auto& p = m.params[pidx[k]];
-      if (!takes_input(p.mode)) continue;
-      if (!(*callee_layouts)[k]) continue;  // deferred: pulled mid-call
-      const auto* binding = std::get<ParallelRef>(args[pidx[k]]).binding;
-      const auto& s = fw_->cache_.get(binding->descriptor,
-                                      *(*callee_layouts)[k], my, -1);
-      core::execute_erased(s, binding, nullptr, coupling,
-                           data_in_tag(conn_, static_cast<int>(k)));
+    // Parallel inputs.
+    if (!pidx.empty()) {
+      auto coupling =
+          make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
+      for (std::size_t k = 0; k < pidx.size(); ++k) {
+        const auto& p = m.params[pidx[k]];
+        if (!takes_input(p.mode)) continue;
+        if (!(*callee_layouts)[k]) continue;  // deferred: pulled mid-call
+        const auto* binding = std::get<ParallelRef>(args[pidx[k]]).binding;
+        const auto& s = fw_->cache_.get(binding->descriptor,
+                                        *(*callee_layouts)[k], my, -1);
+        core::execute_erased(s, binding, nullptr, coupling,
+                             data_in_tag(conn_, static_cast<int>(k)));
+      }
     }
   }
 
@@ -709,23 +724,26 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
   // Park on the reply stream: serve any mid-call pull requests for
   // deferred parameters, then take the return.
   rt::Message msg;
-  while (true) {
-    msg = fw_->world_.recv(rt::kAnySource, return_tag(conn_));
-    rt::UnpackBuffer peek(msg.payload);
-    if (static_cast<ReplyKind>(peek.unpack<std::uint8_t>()) ==
-        ReplyKind::Return)
-      break;
-    // Pull request: {param index within the parallel list, dst descriptor}.
-    const int k = peek.unpack<int>();
-    auto dst_desc = std::make_shared<const dad::Descriptor>(
-        dad::Descriptor::unpack(peek));
-    const auto* binding = std::get<ParallelRef>(args[pidx.at(k)]).binding;
-    auto coupling =
-        make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
-    const auto& s =
-        fw_->cache_.get(binding->descriptor, dst_desc, my, -1);
-    core::execute_erased(s, binding, nullptr, coupling,
-                         data_in_tag(conn_, k));
+  {
+    trace::Span wait_ret("prmi.wait_return", "prmi");
+    while (true) {
+      msg = fw_->world_.recv(rt::kAnySource, return_tag(conn_));
+      rt::UnpackBuffer peek(msg.payload);
+      if (static_cast<ReplyKind>(peek.unpack<std::uint8_t>()) ==
+          ReplyKind::Return)
+        break;
+      // Pull request: {param index within the parallel list, dst descriptor}.
+      const int k = peek.unpack<int>();
+      auto dst_desc = std::make_shared<const dad::Descriptor>(
+          dad::Descriptor::unpack(peek));
+      const auto* binding = std::get<ParallelRef>(args[pidx.at(k)]).binding;
+      auto coupling =
+          make_coupling(fw_->world_, participants_world_, conn.callee_ranks);
+      const auto& s =
+          fw_->cache_.get(binding->descriptor, dst_desc, my, -1);
+      core::execute_erased(s, binding, nullptr, coupling,
+                           data_in_tag(conn_, k));
+    }
   }
   rt::UnpackBuffer u(msg.payload);
   (void)u.unpack<std::uint8_t>();  // ReplyKind::Return

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/trace.hpp"
+
 namespace mxn::rt {
 
 namespace {
@@ -48,6 +50,7 @@ void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
   st_->messages.fetch_add(1, std::memory_order_relaxed);
   st_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
   st_->uni->count_message(data.size());
+  trace::instant("rt.send", "rt", data.size());
   st_->boxes[dst]->put(Message{rank_, tag, std::move(data)});
 }
 
@@ -64,6 +67,7 @@ void Communicator::send(int dst, int tag, std::vector<std::byte> data) {
 Message Communicator::recv(int src, int tag) {
   if (src != kAnySource && (src < 0 || src >= size()))
     throw UsageError("recv: source rank out of range");
+  trace::Span span("rt.recv", "rt");
   return my_box().get(src, tag);
 }
 
@@ -93,6 +97,7 @@ void Communicator::barrier() {
   // Gather-to-root then broadcast-release: 2(n-1) messages.
   const int n = size();
   if (n == 1) return;
+  trace::Span span("rt.barrier", "rt", static_cast<std::uint64_t>(n));
   if (rank_ == 0) {
     for (int i = 1; i < n; ++i) my_box().get(kAnySource, kTagBarrierUp);
     for (int i = 1; i < n; ++i) raw_send(i, kTagBarrierDown, {});
@@ -106,6 +111,7 @@ std::vector<std::byte> Communicator::bcast(std::vector<std::byte> data,
                                            int root) {
   const int n = size();
   if (n == 1) return data;
+  trace::Span span("rt.bcast", "rt", data.size());
   if (rank_ == root) {
     for (int i = 0; i < n; ++i)
       if (i != root) raw_send(i, kTagBcast, data);
@@ -116,6 +122,7 @@ std::vector<std::byte> Communicator::bcast(std::vector<std::byte> data,
 
 std::vector<std::vector<std::byte>> Communicator::gather(
     std::span<const std::byte> data, int root) {
+  trace::Span span("rt.gather", "rt", data.size());
   const int n = size();
   std::vector<std::vector<std::byte>> out;
   if (rank_ == root) {
@@ -134,6 +141,7 @@ std::vector<std::vector<std::byte>> Communicator::gather(
 
 std::vector<std::vector<std::byte>> Communicator::allgather(
     std::span<const std::byte> data) {
+  trace::Span span("rt.allgather", "rt", data.size());
   auto parts = gather(data, 0);
   // Broadcast the concatenation with a simple length-prefixed framing.
   PackBuffer b;
@@ -152,6 +160,7 @@ std::vector<std::vector<std::byte>> Communicator::alltoall(
   const int n = size();
   if (static_cast<int>(outgoing.size()) != n)
     throw UsageError("alltoall: outgoing must have one entry per rank");
+  trace::Span span("rt.alltoall", "rt", static_cast<std::uint64_t>(n));
   for (int i = 0; i < n; ++i) raw_send(i, kTagAlltoall, outgoing[i]);
   std::vector<std::vector<std::byte>> incoming(n);
   for (int i = 0; i < n; ++i) {
@@ -162,6 +171,7 @@ std::vector<std::vector<std::byte>> Communicator::alltoall(
 }
 
 Communicator Communicator::split(int color, int key) {
+  trace::Span span("rt.split", "rt");
   auto& st = *st_;
   Universe* uni = st.uni;
   std::unique_lock lock(st.split_mu);
@@ -176,7 +186,8 @@ Communicator Communicator::split(int color, int key) {
       }
       if (uni->deadlocked()) {
         uni->block_exit();
-        throw DeadlockError("deadlock detected while blocked in split");
+        throw DeadlockError("deadlock detected while blocked in split" +
+                            uni->deadlock_report());
       }
       st.split_cv.wait_for(lock, std::chrono::milliseconds(50));
       uni->check_deadlock();

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "rt/error.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::rt {
 
@@ -34,6 +35,8 @@ Message Mailbox::get(int src, int tag) {
   std::unique_lock lock(mu_);
   int idx = find_match(src, tag);
   if (idx < 0) {
+    static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
+    trace::Span wait("rt.wait", "rt", 0, &wait_ns);
     uni_->block_enter();
     while (true) {
       if (uni_->aborted()) {
@@ -42,7 +45,8 @@ Message Mailbox::get(int src, int tag) {
       }
       if (uni_->deadlocked()) {
         uni_->block_exit();
-        throw DeadlockError("all processes blocked in matched receives");
+        throw DeadlockError("all processes blocked in matched receives" +
+                            uni_->deadlock_report());
       }
       idx = find_match(src, tag);
       if (idx >= 0) break;
@@ -74,6 +78,8 @@ Message Mailbox::get_if(int src, int tag,
   std::unique_lock lock(mu_);
   int idx = find_match_if(src, tag, pred);
   if (idx < 0) {
+    static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
+    trace::Span wait("rt.wait", "rt", 0, &wait_ns);
     uni_->block_enter();
     while (true) {
       if (uni_->aborted()) {
@@ -82,7 +88,8 @@ Message Mailbox::get_if(int src, int tag,
       }
       if (uni_->deadlocked()) {
         uni_->block_exit();
-        throw DeadlockError("all processes blocked in matched receives");
+        throw DeadlockError("all processes blocked in matched receives" +
+                            uni_->deadlock_report());
       }
       idx = find_match_if(src, tag, pred);
       if (idx >= 0) break;

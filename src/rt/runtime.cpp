@@ -9,12 +9,14 @@
 
 #include "rt/error.hpp"
 #include "rt/universe.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::rt {
 
 void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
            const SpawnOptions& opts) {
   if (nprocs <= 0) throw UsageError("spawn: nprocs must be positive");
+  if (opts.trace || trace::env_enabled()) trace::set_enabled(true);
 
   auto uni = std::make_unique<Universe>(nprocs, opts.deadlock_timeout_ms);
   std::vector<int> ids(nprocs);
@@ -28,6 +30,7 @@ void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
   threads.reserve(nprocs);
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
+      trace::set_thread_rank(r);
       Communicator comm = Communicator::attach(world, r);
       try {
         fn(comm);

@@ -11,6 +11,13 @@ struct SpawnOptions {
   /// When > 0, the watchdog declares deadlock after all threads have been
   /// blocked in matched receives with no message traffic for this long.
   int deadlock_timeout_ms = 0;
+
+  /// Turn on trace-event recording for this spawn (see
+  /// docs/OBSERVABILITY.md). The MXN_TRACE environment variable enables it
+  /// process-wide regardless of this flag. Once enabled, recording stays on
+  /// so the caller can export with trace::write_chrome_trace() after
+  /// spawn() returns.
+  bool trace = false;
 };
 
 /// Run `fn` on `nprocs` cooperating "processes" (threads with private

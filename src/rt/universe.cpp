@@ -39,8 +39,19 @@ bool Universe::check_deadlock() {
   if (since == 0) return false;
   const std::int64_t elapsed_ms = (steady_now_ns() - since) / 1'000'000;
   if (elapsed_ms < deadlock_timeout_ms_) return false;
-  deadlocked_.store(true, std::memory_order_release);
-  notify_all_mailboxes();
+  {
+    // First tripper builds the causal timeline before publishing the flag;
+    // every rank is idle-blocked, so the event rings are quiescent.
+    std::lock_guard lock(report_mu_);
+    if (!deadlocked_.load(std::memory_order_acquire)) {
+      const std::string tail = trace::tail_report(8);
+      if (!tail.empty())
+        deadlock_report_ =
+            "\nLast trace events per rank at deadlock:\n" + tail;
+      deadlocked_.store(true, std::memory_order_release);
+      notify_all_mailboxes();
+    }
+  }
   return true;
 }
 

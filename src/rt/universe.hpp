@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
+
+#include "trace/trace.hpp"
 
 namespace mxn::rt {
 
@@ -41,6 +44,12 @@ class Universe {
   void count_message(std::uint64_t bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    // Mirror into the process-wide metrics registry (docs/OBSERVABILITY.md);
+    // snapshots via stats() keep working unchanged.
+    static trace::Counter& messages = trace::counter("rt.messages");
+    static trace::Counter& bytes_c = trace::counter("rt.bytes");
+    messages.add(1);
+    bytes_c.add(bytes);
     note_activity();
   }
 
@@ -72,6 +81,13 @@ class Universe {
     return deadlocked_.load(std::memory_order_acquire);
   }
 
+  /// Causal timeline attached to DeadlockError: each blocked rank's last few
+  /// trace events (empty unless tracing was enabled). Valid — and immutable —
+  /// once deadlocked() returns true.
+  [[nodiscard]] const std::string& deadlock_report() const {
+    return deadlock_report_;
+  }
+
   // Mailboxes register themselves so abort/deadlock can wake their waiters.
   void register_mailbox(Mailbox* box);
   void unregister_mailbox(Mailbox* box);
@@ -87,6 +103,8 @@ class Universe {
 
   std::atomic<bool> aborted_{false};
   std::atomic<bool> deadlocked_{false};
+  std::mutex report_mu_;  // serializes the one-time deadlock report build
+  std::string deadlock_report_;
 
   std::atomic<int> blocked_{0};
   // Steady-clock time (ns since epoch of the clock) at which the universe

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/schedule.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::sched {
 
@@ -12,6 +14,10 @@ namespace mxn::sched {
 /// calculate (paper §2.3); because schedules are a function of templates —
 /// not of the actual arrays aligned to them — one cached schedule serves
 /// every conforming array and every repeat transfer.
+///
+/// Entries are bucketed by a structural hash of the key, so get() is O(1)
+/// in the number of cached schedules; the structural same_desc comparison
+/// runs only on hash collisions. hits()/misses() stay exact.
 class ScheduleCache {
  public:
   /// Look up or build the schedule for this rank's roles. The returned
@@ -19,28 +25,38 @@ class ScheduleCache {
   const RegionSchedule& get(const dad::DescriptorPtr& src,
                             const dad::DescriptorPtr& dst, int my_src_rank,
                             int my_dst_rank) {
-    for (const auto& e : entries_) {
-      if (e->my_src == my_src_rank && e->my_dst == my_dst_rank &&
-          same_desc(e->src, src) && same_desc(e->dst, dst)) {
+    static trace::Counter& hit_count = trace::counter("sched.cache.hits");
+    static trace::Counter& miss_count = trace::counter("sched.cache.misses");
+    const std::size_t key = key_hash(*src, *dst, my_src_rank, my_dst_rank);
+    auto [lo, hi] = buckets_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      const Entry& e = *it->second;
+      if (e.my_src == my_src_rank && e.my_dst == my_dst_rank &&
+          same_desc(e.src, src) && same_desc(e.dst, dst)) {
         ++hits_;
-        return e->sched;
+        hit_count.add(1);
+        trace::instant("sched.cache.hit", "sched");
+        return e.sched;
       }
     }
     ++misses_;
+    miss_count.add(1);
+    trace::instant("sched.cache.miss", "sched");
     auto e = std::make_unique<Entry>();
     e->src = src;
     e->dst = dst;
     e->my_src = my_src_rank;
     e->my_dst = my_dst_rank;
     e->sched = build_region_schedule(*src, *dst, my_src_rank, my_dst_rank);
-    entries_.push_back(std::move(e));
-    return entries_.back()->sched;
+    const RegionSchedule& out = e->sched;
+    buckets_.emplace(key, std::move(e));
+    return out;
   }
 
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return buckets_.size(); }
+  void clear() { buckets_.clear(); }
 
  private:
   static bool same_desc(const dad::DescriptorPtr& a,
@@ -48,12 +64,22 @@ class ScheduleCache {
     return a == b || *a == *b;  // pointer fast path, then structural
   }
 
+  static std::size_t key_hash(const dad::Descriptor& src,
+                              const dad::Descriptor& dst, int my_src,
+                              int my_dst) {
+    std::size_t h = src.structural_hash();
+    h = h * 1099511628211ull + dst.structural_hash();
+    h = h * 1099511628211ull + static_cast<std::size_t>(my_src + 1);
+    h = h * 1099511628211ull + static_cast<std::size_t>(my_dst + 1);
+    return h;
+  }
+
   struct Entry {
     dad::DescriptorPtr src, dst;
     int my_src = -1, my_dst = -1;
     RegionSchedule sched;
   };
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_multimap<std::size_t, std::unique_ptr<Entry>> buckets_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

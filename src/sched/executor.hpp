@@ -5,6 +5,7 @@
 #include "dad/dist_array.hpp"
 #include "sched/coupling.hpp"
 #include "sched/schedule.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::sched {
 
@@ -24,6 +25,10 @@ void execute(const RegionSchedule& sched, const dad::DistArray<T>* src_arr,
   if (!sched.recvs.empty() && dst_arr == nullptr)
     throw rt::UsageError("schedule has recvs but no destination array given");
 
+  trace::Span span(
+      "sched.execute", "sched",
+      static_cast<std::uint64_t>(sched.send_elements() +
+                                 sched.recv_elements()) * sizeof(T));
   rt::Communicator channel = c.channel;  // local handle
 
   for (const auto& pr : sched.sends) {
@@ -102,6 +107,10 @@ void execute(const SegmentSchedule& sched, dad::DistArray<T>* src_arr,
              dad::DistArray<T>* dst_arr,
              const std::vector<linear::ProvenancedSegment>* dst_prov,
              const Coupling& c, int tag) {
+  trace::Span span(
+      "sched.execute", "sched",
+      static_cast<std::uint64_t>(sched.send_elements() +
+                                 sched.recv_elements()) * sizeof(T));
   rt::Communicator channel = c.channel;
 
   for (const auto& ps : sched.sends) {

@@ -1,6 +1,7 @@
 #include "sched/schedule.hpp"
 
 #include "rt/error.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::sched {
 
@@ -19,6 +20,8 @@ void check_shapes(const Descriptor& src, const Descriptor& dst) {
 RegionSchedule build_region_schedule(const Descriptor& src,
                                      const Descriptor& dst, int my_src_rank,
                                      int my_dst_rank, bool prune) {
+  static trace::Histogram& build_ns = trace::histogram("sched.build_ns");
+  trace::Span span("sched.build", "sched", 0, &build_ns);
   check_shapes(src, dst);
   RegionSchedule out;
 
@@ -80,6 +83,8 @@ SegmentSchedule build_segment_schedule(const Descriptor& src,
     throw UsageError(
         "source and destination linearizations must cover the same number of "
         "elements");
+  static trace::Histogram& build_ns = trace::histogram("sched.build_ns");
+  trace::Span span("sched.build_segments", "sched", 0, &build_ns);
   SegmentSchedule out;
 
   if (my_src_rank >= 0) {

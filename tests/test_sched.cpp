@@ -425,3 +425,55 @@ TEST(ScheduleCache, HitsOnRepeatAndConformingArrays) {
   cache.get(src, dst, 1, -1);
   EXPECT_EQ(cache.misses(), 2u);
 }
+
+TEST(ScheduleCache, StructuralHashMatchesEquality) {
+  auto a = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2),
+                                                   AxisDist::cyclic(10, 3)});
+  auto b = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2),
+                                                   AxisDist::cyclic(10, 3)});
+  auto c = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 3),
+                                                   AxisDist::cyclic(10, 3)});
+  // Equal descriptors hash equally (the cache's bucketing invariant)...
+  EXPECT_TRUE(*a == *b);
+  EXPECT_EQ(a->structural_hash(), b->structural_hash());
+  // ...and a different decomposition is expected to land elsewhere (not
+  // guaranteed in theory, but a collision here would mean a broken hash).
+  EXPECT_FALSE(*a == *c);
+  EXPECT_NE(a->structural_hash(), c->structural_hash());
+}
+
+TEST(ScheduleCache, CachedScheduleServesEveryConformingArray) {
+  // One cached schedule, two different arrays aligned to the same source
+  // template: the second transfer must hit the cache and still move the
+  // second array's values.
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::block(12, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(12, 2)});
+  rt::spawn(4, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, 2, 2);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a1, a2, b;
+    if (ms >= 0) {
+      a1 = std::make_unique<dad::DistArray<double>>(src, ms);
+      a1->fill([](const Point& p) { return double(p[0]); });
+      a2 = std::make_unique<dad::DistArray<double>>(src, ms);
+      a2->fill([](const Point& p) { return 100.0 + double(p[0]); });
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+
+    sched::ScheduleCache cache;
+    sched::execute<double>(cache.get(src, dst, ms, md), a1.get(), b.get(), c,
+                           11);
+    if (md >= 0)
+      b->for_each_owned([](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, double(p[0]));
+      });
+    sched::execute<double>(cache.get(src, dst, ms, md), a2.get(), b.get(), c,
+                           12);
+    if (md >= 0)
+      b->for_each_owned([](const Point& p, const double& v) {
+        EXPECT_DOUBLE_EQ(v, 100.0 + double(p[0]));
+      });
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+  });
+}
