@@ -9,7 +9,7 @@ using rt::UsageError;
 MovedCounts execute_erased(const sched::RegionSchedule& s,
                            const FieldRegistration* src,
                            const FieldRegistration* dst,
-                           const sched::Coupling& c, int tag) {
+                           const sched::Coupling& c, int tag, bool staged) {
   trace::Span span("sched.execute", "sched",
                    static_cast<std::uint64_t>(s.send_elements() +
                                               s.recv_elements()));
@@ -39,11 +39,19 @@ MovedCounts execute_erased(const sched::RegionSchedule& s,
     moved.bytes += buf.size();
     channel.send(c.dst_ranks.at(pr.peer), tag, std::move(buf));
   }
+  // Staged mode: land every payload before the first inject, so a fault
+  // while any receive is outstanding cannot leave the field half-written.
+  std::vector<std::vector<std::byte>> pending;
+  if (staged) pending.reserve(s.recvs.size());
   for (const auto& pr : s.recvs) {
-    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag);
+    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag, c.recv_timeout_ms);
     if (msg.payload.size() !=
         static_cast<std::size_t>(pr.elements) * dst->elem_size)
       throw UsageError("erased transfer payload size mismatch");
+    if (staged) {
+      pending.push_back(std::move(msg.payload));
+      continue;
+    }
     std::size_t off = 0;
     for (const auto& region : pr.regions) {
       dst->inject(region, msg.payload.data() + off);
@@ -51,6 +59,18 @@ MovedCounts execute_erased(const sched::RegionSchedule& s,
     }
     moved.elements += static_cast<std::uint64_t>(pr.elements);
     moved.bytes += msg.payload.size();
+  }
+  if (staged) {
+    for (std::size_t i = 0; i < s.recvs.size(); ++i) {
+      const auto& pr = s.recvs[i];
+      std::size_t off = 0;
+      for (const auto& region : pr.regions) {
+        dst->inject(region, pending[i].data() + off);
+        off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
+      }
+      moved.elements += static_cast<std::uint64_t>(pr.elements);
+      moved.bytes += pending[i].size();
+    }
   }
   return moved;
 }

@@ -18,9 +18,16 @@ struct MovedCounts {
 /// region schedule through the type-erased pack/unpack closures of field
 /// registrations. `src` may be null when this process has no sends, `dst`
 /// null when it has no receives.
+///
+/// Receives honor `c.recv_timeout_ms`. With `staged` set, every incoming
+/// payload is buffered and validated BEFORE the first inject closure runs,
+/// so a fault mid-receive (TimeoutError, payload mismatch) leaves the
+/// destination field byte-for-byte untouched — the property the reliable
+/// M×N transfer builds its retry on.
 MovedCounts execute_erased(const sched::RegionSchedule& s,
                            const FieldRegistration* src,
                            const FieldRegistration* dst,
-                           const sched::Coupling& c, int tag);
+                           const sched::Coupling& c, int tag,
+                           bool staged = false);
 
 }  // namespace mxn::core

@@ -1,6 +1,7 @@
 #include "core/mxn_component.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/erased_exec.hpp"
 #include "sched/schedule.hpp"
@@ -13,11 +14,35 @@ using rt::UsageError;
 namespace {
 
 // Channel tag plan: connection `seq` uses kConnBase + 4*seq + {0: data,
-// 1: ack, 2: descriptor exchange}; proposals travel on kProposalTag. The
-// `seq` counter advances identically on both sides because establish() is
-// collective across the pair.
+// 1: ack, 2: descriptor exchange, 3: commit}; proposals travel on
+// kProposalTag. The `seq` counter advances identically on both sides
+// because establishment is collective across the pair.
 constexpr int kProposalTag = 900;
 constexpr int kConnBase = 1000;
+
+// Reliable-mode wire framing: every data/ack/commit payload starts with the
+// sender's 8-byte attempt serial (the "epoch"). Receivers discard anything
+// older than their own attempt — stale traffic from an aborted attempt is
+// consumed and dropped, never mistaken for the retry.
+constexpr std::size_t kSerialBytes = sizeof(std::uint64_t);
+
+std::uint64_t peek_serial(const std::vector<std::byte>& payload) {
+  if (payload.size() < kSerialBytes)
+    throw UsageError("reliable transfer message too short for its serial");
+  std::uint64_t s = 0;
+  std::memcpy(&s, payload.data(), kSerialBytes);
+  return s;
+}
+
+void put_serial(std::byte* out, std::uint64_t s) {
+  std::memcpy(out, &s, kSerialBytes);
+}
+
+std::vector<std::byte> serial_only(std::uint64_t s) {
+  std::vector<std::byte> b(kSerialBytes);
+  put_serial(b.data(), s);
+  return b;
+}
 
 }  // namespace
 
@@ -28,6 +53,9 @@ void ConnectionSpec::pack(rt::PackBuffer& b) const {
   b.pack(one_shot);
   b.pack(period);
   b.pack(handshake);
+  b.pack(reliable);
+  b.pack(timeout_ms);
+  b.pack(max_retries);
 }
 
 ConnectionSpec ConnectionSpec::unpack(rt::UnpackBuffer& u) {
@@ -38,6 +66,9 @@ ConnectionSpec ConnectionSpec::unpack(rt::UnpackBuffer& u) {
   s.one_shot = u.unpack<bool>();
   s.period = u.unpack<int>();
   s.handshake = u.unpack<bool>();
+  s.reliable = u.unpack<bool>();
+  s.timeout_ms = u.unpack<int>();
+  s.max_retries = u.unpack<int>();
   return s;
 }
 
@@ -51,10 +82,15 @@ struct MxNComponent::Connection {
   int src_calls = 0;
   TransferStats stats;
   bool retired = false;
+  // Reliable-mode attempt serial ("invocation epoch"): bumped at the start
+  // of every attempt, carried in every message, ratcheted forward when a
+  // peer is seen to have retried past us.
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] int data_tag() const { return kConnBase + 4 * seq; }
   [[nodiscard]] int ack_tag() const { return kConnBase + 4 * seq + 1; }
   [[nodiscard]] int desc_tag() const { return kConnBase + 4 * seq + 2; }
+  [[nodiscard]] int commit_tag() const { return kConnBase + 4 * seq + 3; }
 };
 
 MxNComponent::MxNComponent(rt::Communicator channel, rt::Communicator cohort,
@@ -173,6 +209,7 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
   c->coupling.channel = channel_;
   c->coupling.src_ranks = side_ranks_[spec.src_side];
   c->coupling.dst_ranks = side_ranks_[1 - spec.src_side];
+  c->coupling.recv_timeout_ms = spec.timeout_ms;
 
   const int my_src = c->i_am_src ? cohort_.rank() : -1;
   const int my_dst = c->i_am_dst ? cohort_.rank() : -1;
@@ -186,6 +223,15 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
 void MxNComponent::run_transfer(Connection& c) {
   trace::Span span("mxn.transfer", "mxn",
                    static_cast<std::uint64_t>(c.seq));
+  if (c.spec.reliable)
+    run_transfer_reliable(c);
+  else
+    run_transfer_loose(c);
+  ++c.stats.transfers;
+  if (c.spec.one_shot) c.retired = true;
+}
+
+void MxNComponent::run_transfer_loose(Connection& c) {
   const FieldRegistration* src =
       c.i_am_src ? &field(c.spec.src_field) : nullptr;
   const FieldRegistration* dst =
@@ -211,8 +257,137 @@ void MxNComponent::run_transfer(Connection& c) {
         channel.recv(c.coupling.dst_ranks.at(pr.peer), c.ack_tag());
     }
   }
-  ++c.stats.transfers;
-  if (c.spec.one_shot) c.retired = true;
+}
+
+// One attempt of the two-phase reliable protocol (docs/FAULTS.md):
+//
+//   src: send [epoch|data] to each peer --> wait per-peer ack --> commit
+//   dst: stage [epoch|data] from each peer --> ack each --> wait commits
+//        --> inject the staged payloads
+//
+// Every message carries the sender's attempt serial; receivers consume and
+// DISCARD anything older than their own attempt (self-draining), and ratchet
+// forward when a peer has already retried past them. The destination injects
+// only after every source's commit, so a failed attempt — TimeoutError at
+// any of the waits — leaves the destination field untouched and the whole
+// attempt can simply be re-run. Returns false on a retryable timeout.
+bool MxNComponent::try_transfer_attempt(Connection& c) {
+  const FieldRegistration* src =
+      c.i_am_src ? &field(c.spec.src_field) : nullptr;
+  const FieldRegistration* dst =
+      c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
+  const sched::RegionSchedule& s = *c.schedule;
+  rt::Communicator channel = c.coupling.channel;
+  const int to = c.spec.timeout_ms;
+  ++c.epoch;
+  MovedCounts moved;
+  try {
+    if (c.i_am_src) {
+      for (const auto& pr : s.sends) {
+        std::vector<std::byte> buf(
+            kSerialBytes +
+            static_cast<std::size_t>(pr.elements) * src->elem_size);
+        put_serial(buf.data(), c.epoch);
+        std::size_t off = kSerialBytes;
+        for (const auto& region : pr.regions) {
+          src->extract(region, buf.data() + off);
+          off += static_cast<std::size_t>(region.volume()) * src->elem_size;
+        }
+        moved.elements += static_cast<std::uint64_t>(pr.elements);
+        moved.bytes += buf.size() - kSerialBytes;
+        channel.send(c.coupling.dst_ranks.at(pr.peer), c.data_tag(),
+                     std::move(buf));
+      }
+      for (const auto& pr : s.sends) {
+        const int peer = c.coupling.dst_ranks.at(pr.peer);
+        for (;;) {
+          auto m = channel.recv(peer, c.ack_tag(), to);
+          if (peek_serial(m.payload) >= c.epoch) break;  // else: stale ack
+        }
+      }
+      for (const auto& pr : s.sends)
+        channel.send(c.coupling.dst_ranks.at(pr.peer), c.commit_tag(),
+                     serial_only(c.epoch));
+    }
+    if (c.i_am_dst) {
+      // Phase 1: stage every peer's payload BEFORE acking anyone — a
+      // missing source (killed, dropped) therefore fails every participant
+      // of the transfer, not just the ranks wired to it, and nothing is
+      // injected yet so any failure below unwinds to the pre-transfer
+      // field state.
+      std::vector<std::vector<std::byte>> staged(s.recvs.size());
+      std::vector<std::uint64_t> serials(s.recvs.size(), 0);
+      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
+        const auto& pr = s.recvs[i];
+        const int peer = c.coupling.src_ranks.at(pr.peer);
+        for (;;) {
+          auto m = channel.recv(peer, c.data_tag(), to);
+          const std::uint64_t ser = peek_serial(m.payload);
+          if (ser < c.epoch) continue;  // stale attempt: drain and drop
+          if (ser > c.epoch) c.epoch = ser;
+          if (m.payload.size() - kSerialBytes !=
+              static_cast<std::size_t>(pr.elements) * dst->elem_size)
+            throw UsageError("reliable transfer payload size mismatch");
+          staged[i] = std::move(m.payload);
+          serials[i] = ser;
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < s.recvs.size(); ++i)
+        channel.send(c.coupling.src_ranks.at(s.recvs[i].peer), c.ack_tag(),
+                     serial_only(serials[i]));
+      // Phase 2: wait for every source's commit, then inject.
+      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
+        const int peer = c.coupling.src_ranks.at(s.recvs[i].peer);
+        for (;;) {
+          auto m = channel.recv(peer, c.commit_tag(), to);
+          if (peek_serial(m.payload) >= serials[i]) break;
+        }
+      }
+      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
+        const auto& pr = s.recvs[i];
+        std::size_t off = kSerialBytes;
+        for (const auto& region : pr.regions) {
+          dst->inject(region, staged[i].data() + off);
+          off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
+        }
+        moved.elements += static_cast<std::uint64_t>(pr.elements);
+        moved.bytes += staged[i].size() - kSerialBytes;
+      }
+    }
+  } catch (const rt::TimeoutError&) {
+    return false;
+  }
+  c.stats.elements += moved.elements;
+  c.stats.bytes += moved.bytes;
+  static trace::Counter& transfers = trace::counter("mxn.transfers");
+  static trace::Counter& bytes = trace::counter("mxn.bytes");
+  transfers.add(1);
+  bytes.add(moved.bytes);
+  return true;
+}
+
+void MxNComponent::run_transfer_reliable(Connection& c) {
+  static trace::Counter& retries = trace::counter("mxn.retries");
+  static trace::Counter& failures = trace::counter("mxn.transfer_failures");
+  const int attempts = 1 + std::max(0, c.spec.max_retries);
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      ++c.stats.retries;
+      retries.add(1);
+      trace::instant("mxn.retry", "mxn", static_cast<std::uint64_t>(c.seq));
+    }
+    if (try_transfer_attempt(c)) return;
+  }
+  ++c.stats.failures;
+  failures.add(1);
+  trace::instant("mxn.transfer_failure", "mxn",
+                 static_cast<std::uint64_t>(c.seq));
+  throw TransferError(
+      "reliable transfer on connection seq " + std::to_string(c.seq) +
+      " ('" + c.spec.src_field + "' -> '" + c.spec.dst_field +
+      "') failed after " + std::to_string(attempts) +
+      " attempts; destination field left untouched");
 }
 
 int MxNComponent::data_ready(const std::string& field_name) {

@@ -34,6 +34,24 @@ struct ConnectionSpec {
   int period = 1;
   bool handshake = false;
 
+  /// Reliable (two-phase, ack'd) transfer mode — see docs/FAULTS.md. Every
+  /// transfer runs as: serial-framed data → per-peer acks → commit;
+  /// destinations stage incoming payloads and inject only after every
+  /// commit arrived, so a faulted attempt leaves the destination field
+  /// untouched. Failed attempts are retried up to `max_retries` times under
+  /// a bumped attempt serial (stale traffic from an aborted attempt is
+  /// drained and discarded, never delivered); exhaustion raises
+  /// TransferError with the destination state unchanged.
+  bool reliable = false;
+
+  /// Per-receive deadline (ms) during a transfer: < 0 inherits the spawn
+  /// default, 0 waits forever (retries then never trigger), > 0 recommended
+  /// whenever `reliable` is set.
+  int timeout_ms = -1;
+
+  /// Extra attempts after the first, in reliable mode.
+  int max_retries = 2;
+
   void pack(rt::PackBuffer& b) const;
   static ConnectionSpec unpack(rt::UnpackBuffer& u);
 };
@@ -43,6 +61,18 @@ struct TransferStats {
   std::uint64_t transfers = 0;
   std::uint64_t elements = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t retries = 0;   // failed attempts that were retried
+  std::uint64_t failures = 0;  // transfers abandoned after max_retries
+};
+
+/// A reliable transfer exhausted its retries without completing. The local
+/// destination field (if any) is untouched: payloads are staged and only
+/// injected after the commit phase. The connection stays established — the
+/// next data_ready() retries on fresh epoch tags, so a transient fault (or
+/// a restored peer) can still succeed later.
+class TransferError : public rt::Error {
+ public:
+  using Error::Error;
 };
 
 /// The provides-port interface of the M×N component (paper §4.1). Paired
@@ -134,6 +164,9 @@ class MxNComponent final : public Component, public MxNService {
   const FieldRegistration& field(const std::string& name) const;
   ConnectionId establish_impl(const ConnectionSpec& spec);
   void run_transfer(Connection& c);
+  void run_transfer_loose(Connection& c);
+  void run_transfer_reliable(Connection& c);
+  bool try_transfer_attempt(Connection& c);
 
   rt::Communicator channel_;
   rt::Communicator cohort_;

@@ -1,6 +1,8 @@
 #include "prmi/distributed_framework.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "core/erased_exec.hpp"
 #include "trace/trace.hpp"
@@ -260,8 +262,9 @@ int DistributedFramework::serve_ordered(const std::string& comp_name,
                 "independent invocations cannot be globally ordered; use "
                 "serve() for ports with independent methods");
           case MsgKind::Invoke: {
-            // Peek seq/method/participants to build the announcement.
+            // Peek seq/epoch/method/participants for the announcement.
             (void)u.unpack<int>();  // seq
+            (void)u.unpack<int>();  // epoch
             (void)u.unpack<int>();  // method
             const auto participants = u.unpack_vector<int>();
             rt::PackBuffer b;
@@ -305,8 +308,8 @@ int DistributedFramework::serve_ordered(const std::string& comp_name,
     (void)u.unpack<int>();           // conn
     auto& conn = conns_.at(conn_id);
     Servant& servant = *provider.provides.at(conn.prov_port);
-    handle_invoke(conn, servant, u, /*independent=*/false, header.src);
-    ++served;
+    if (handle_invoke(conn, servant, u, /*independent=*/false, header.src))
+      ++served;
   }
   return served;
 }
@@ -325,11 +328,9 @@ bool DistributedFramework::dispatch(ComponentInfo& provider, rt::Message msg,
 
   switch (kind) {
     case MsgKind::Invoke:
-      handle_invoke(conn, servant, u, /*independent=*/false, msg.src);
-      return true;
+      return handle_invoke(conn, servant, u, /*independent=*/false, msg.src);
     case MsgKind::InvokeIndependent:
-      handle_invoke(conn, servant, u, /*independent=*/true, msg.src);
-      return true;
+      return handle_invoke(conn, servant, u, /*independent=*/true, msg.src);
     case MsgKind::LayoutRequest:
       handle_layout_request(conn, servant, u, msg.src);
       return false;
@@ -378,28 +379,44 @@ void DistributedFramework::handle_layout_request(ConnectionInfo& conn,
   world_.send(src_world, layout_reply_tag(conn.id), std::move(reply).take());
 }
 
-void DistributedFramework::handle_invoke(ConnectionInfo& conn,
+bool DistributedFramework::handle_invoke(ConnectionInfo& conn,
                                          Servant& servant,
                                          rt::UnpackBuffer& u,
                                          bool independent, int src_world) {
   trace::Span span("prmi.handle", "prmi",
                    static_cast<std::uint64_t>(conn.id));
   const int seq = u.unpack<int>();
+  const int epoch = u.unpack<int>();  // caller attempt number, 0 = first
   const int midx = u.unpack<int>();
   const auto participants = u.unpack_vector<int>();
   const auto& iface = servant.interface_desc();
   const auto& m = iface.methods.at(midx);
 
-  // Per-(connection, source) invocation-order guarantee. Sequence numbers
-  // must be strictly increasing; gaps are legal because a caller's counter
+  // Duplicate detection (docs/FAULTS.md). Sequence numbers are strictly
+  // increasing per stream; gaps are legal because a caller's counter
   // advances on every call even when the routing (M != N, independent
-  // targets) sends it no header for some of them.
-  int& last = conn.last_seq[src_world];
-  if (seq <= last)
-    throw UsageError("out-of-order invocation on connection " +
-                     std::to_string(conn.id) + ": seq " +
-                     std::to_string(seq) + " after " + std::to_string(last));
+  // targets) sends it no header for some of them. A header at or below the
+  // watermark is a retransmission of a call this rank already executed:
+  // never re-run the handler — resend the cached reply so the retrying
+  // caller can complete (idempotent, at-most-once execution). Collective
+  // calls are tracked per connection because the retransmitted header may
+  // arrive from a different caller rank than the original.
+  int& last =
+      independent ? conn.last_seq[src_world] : conn.last_collective_seq;
+  if (seq <= last) {
+    static trace::Counter& dups = trace::counter("prmi.dup_requests");
+    dups.add(1);
+    trace::instant("prmi.dup_request", "prmi",
+                   static_cast<std::uint64_t>(seq));
+    auto it = conn.reply_cache.find(src_world);
+    if (it != conn.reply_cache.end() && it->second.first == seq)
+      world_.send(src_world, return_tag(conn.id), it->second.second);
+    return false;
+  }
   last = seq;
+  if (epoch > 0)
+    trace::instant("prmi.late_first_delivery", "prmi",
+                   static_cast<std::uint64_t>(epoch));
 
   auto& provider = comp(conn.prov_comp);
   const int j = provider.cohort.rank();
@@ -491,7 +508,7 @@ void DistributedFramework::handle_invoke(ConnectionInfo& conn,
     error = e.what();
   }
 
-  if (m.oneway) return;
+  if (m.oneway) return true;
 
   // Return values: independent calls answer their single caller; collective
   // calls answer the caller ranks mapped to this callee (replicating the
@@ -513,11 +530,14 @@ void DistributedFramework::handle_invoke(ConnectionInfo& conn,
   const auto reply_bytes = std::move(reply).take();
 
   if (independent) {
+    conn.reply_cache[src_world] = {seq, reply_bytes};
     world_.send(src_world, return_tag(conn.id), reply_bytes);
   } else {
     const int n = static_cast<int>(conn.callee_ranks.size());
-    for (int i = j; i < caller_count; i += n)
+    for (int i = j; i < caller_count; i += n) {
+      conn.reply_cache[participants[i]] = {seq, reply_bytes};
       world_.send(participants[i], return_tag(conn.id), reply_bytes);
+    }
   }
 
   // Parallel outputs flow back, roles reversed.
@@ -533,6 +553,7 @@ void DistributedFramework::handle_invoke(ConnectionInfo& conn,
                            data_out_tag(conn.id, static_cast<int>(k)));
     }
   }
+  return true;
 }
 
 // ===========================================================================
@@ -570,6 +591,7 @@ std::shared_ptr<RemotePort> RemotePort::subset(
   proxy->participants_world_ = std::move(world);
   proxy->seq_ = seq_;  // share per-connection monotonic sequence numbers
   proxy->check_simple_ = check_simple_;
+  proxy->retry_ = retry_;
   return proxy;
 }
 
@@ -672,12 +694,14 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
   // participation the callee cannot derive them from static connection
   // metadata ("any parallel remote invocation must somehow include
   // sufficient information to identify the participating tasks", §2.4).
-  rt::PackBuffer b;
-  {
+  // Rebuilt per attempt: the epoch field distinguishes retransmissions.
+  auto make_header = [&](int epoch) {
     trace::Span marshal("prmi.marshal", "prmi");
+    rt::PackBuffer b;
     b.pack(static_cast<std::uint8_t>(kind));
     b.pack(conn_);
     b.pack(seq);
+    b.pack(epoch);
     b.pack(midx);
     b.pack(participants_world_);
     for (std::size_t i = 0; i < m.params.size(); ++i) {
@@ -687,20 +711,38 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
     }
     for (int p : pidx)
       std::get<ParallelRef>(args[p]).binding->descriptor->pack(b);
-  }
-  const auto header = std::move(b).take();
+    return std::move(b).take();
+  };
 
-  {
+  if (independent) {
+    if (target < 0) target = my % callee_count;
+    if (target >= callee_count)
+      throw UsageError("independent call target rank out of range");
+  }
+  // The callee whose reply this rank waits for. For collective calls it is
+  // `my % callee_count` — included on retries even when the original
+  // routing sent it no header from this rank (M > N), so the resend always
+  // reaches the rank holding our cached reply.
+  const int replier = independent ? target : my % callee_count;
+  auto send_headers = [&](int epoch) {
+    const auto header = make_header(epoch);
     trace::Span deliver("prmi.deliver", "prmi", header.size());
     if (independent) {
-      if (target < 0) target = my % callee_count;
-      if (target >= callee_count)
-        throw UsageError("independent call target rank out of range");
       fw_->world_.send(conn.callee_ranks[target], conn.listen, header);
-    } else {
-      for (int j = my; j < callee_count; j += caller_count)
-        fw_->world_.send(conn.callee_ranks[j], conn.listen, header);
+      return;
     }
+    bool sent_to_replier = false;
+    for (int j = my; j < callee_count; j += caller_count) {
+      fw_->world_.send(conn.callee_ranks[j], conn.listen, header);
+      sent_to_replier = sent_to_replier || j == replier;
+    }
+    if (epoch > 0 && !sent_to_replier)
+      fw_->world_.send(conn.callee_ranks[replier], conn.listen, header);
+  };
+
+  {
+    send_headers(/*epoch=*/0);
+    trace::Span deliver("prmi.deliver_parallel", "prmi");
 
     // Parallel inputs.
     if (!pidx.empty()) {
@@ -721,17 +763,49 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
 
   if (oneway_call) return {};
 
+  // Retry eligibility (docs/FAULTS.md): parallel/deferred parameters carry
+  // data streams that cannot be replayed, so those methods get the deadline
+  // (typed TimeoutError) but no resend.
+  const bool can_retry =
+      retry_ && retry_->max_retries > 0 && pidx.empty() && !any_deferred;
+  const int wait_ms = retry_ ? retry_->timeout_ms : -1;
+  int attempt = 0;
+
   // Park on the reply stream: serve any mid-call pull requests for
-  // deferred parameters, then take the return.
+  // deferred parameters, discard stale replies (a retried predecessor's
+  // duplicate), retry on deadline expiry, then take the return.
   rt::Message msg;
   {
     trace::Span wait_ret("prmi.wait_return", "prmi");
     while (true) {
-      msg = fw_->world_.recv(rt::kAnySource, return_tag(conn_));
+      try {
+        msg = fw_->world_.recv(rt::kAnySource, return_tag(conn_), wait_ms);
+      } catch (const rt::TimeoutError&) {
+        if (!can_retry || attempt >= retry_->max_retries) throw;
+        ++attempt;
+        static trace::Counter& retries = trace::counter("prmi.retries");
+        retries.add(1);
+        trace::instant("prmi.retry", "prmi",
+                       static_cast<std::uint64_t>(seq));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry_->backoff_ms * attempt));
+        send_headers(attempt);
+        continue;
+      }
       rt::UnpackBuffer peek(msg.payload);
       if (static_cast<ReplyKind>(peek.unpack<std::uint8_t>()) ==
-          ReplyKind::Return)
+          ReplyKind::Return) {
+        (void)peek.unpack<std::uint8_t>();  // status
+        const int rseq = peek.unpack<int>();
+        if (rseq < seq) {  // stale duplicate of an earlier call's reply
+          static trace::Counter& stale = trace::counter("prmi.stale_replies");
+          stale.add(1);
+          trace::instant("prmi.stale_reply", "prmi",
+                         static_cast<std::uint64_t>(rseq));
+          continue;
+        }
         break;
+      }
       // Pull request: {param index within the parallel list, dst descriptor}.
       const int k = peek.unpack<int>();
       auto dst_desc = std::make_shared<const dad::Descriptor>(

@@ -16,6 +16,21 @@ namespace mxn::prmi {
 
 class RemotePort;
 
+/// Caller-side fault policy for a RemotePort (docs/FAULTS.md). When set,
+/// every reply wait carries a `timeout_ms` deadline; on expiry the call is
+/// retried — the header is resent with a bumped invocation epoch after a
+/// linear backoff — up to `max_retries` times before the TimeoutError
+/// propagates. The servant deduplicates retransmitted headers by sequence
+/// number and resends the cached reply, so a retried call executes at most
+/// once end to end. Retry engages only for methods without parallel or
+/// deferred parameters (their data streams cannot be replayed safely);
+/// other methods still get the deadline, just no resend.
+struct RetryPolicy {
+  int timeout_ms = 1000;
+  int max_retries = 3;
+  int backoff_ms = 5;  // sleep backoff_ms * attempt before resending
+};
+
 /// A distributed CCA framework (paper §2.1, Figure 2 right): components run
 /// in disjoint sets of processes, port invocations become parallel remote
 /// method invocations with full argument marshalling, and all
@@ -96,8 +111,16 @@ class DistributedFramework {
     std::string user_comp, uses_port, prov_comp, prov_port;
     std::vector<int> caller_ranks, callee_ranks;  // world ranks
     int listen = 0;  // provider component's listen tag
-    // Provider-side per-source sequence tracking.
+    // Provider-side duplicate detection (docs/FAULTS.md): independent
+    // invocations are tracked per source, collective ones per connection
+    // (every caller of a collective call carries the same seq, so a
+    // retransmitted header may arrive from a DIFFERENT rank than the
+    // original). A header with seq <= the watermark is a retransmission:
+    // it is never re-executed; the cached reply is resent instead.
     std::map<int, int> last_seq;
+    int last_collective_seq = 0;
+    // Last reply sent to each caller world rank: {seq, reply bytes}.
+    std::map<int, std::pair<int, std::vector<std::byte>>> reply_cache;
   };
 
   ComponentInfo& comp(const std::string& name);
@@ -108,7 +131,9 @@ class DistributedFramework {
   /// a Shutdown notice was handled.
   bool dispatch(ComponentInfo& provider, rt::Message msg, bool* shutdown);
 
-  void handle_invoke(ConnectionInfo& conn, Servant& servant,
+  /// Returns true when a fresh invocation was executed, false when the
+  /// header was a retransmission (deduplicated; cached reply resent).
+  bool handle_invoke(ConnectionInfo& conn, Servant& servant,
                      rt::UnpackBuffer& u, bool independent, int src_world);
   void handle_layout_request(ConnectionInfo& conn, Servant& servant,
                              rt::UnpackBuffer& u, int src_world);
@@ -164,6 +189,12 @@ class RemotePort {
   /// (§2.4: optional because it costs a cohort reduction per call).
   void set_check_simple_args(bool on) { check_simple_ = on; }
 
+  /// Install (or clear) the caller-side deadline/retry policy. Collective
+  /// calls: every participating rank must install the same policy.
+  void set_retry_policy(std::optional<RetryPolicy> policy) {
+    retry_ = policy;
+  }
+
   /// Create a proxy through which only the given caller-cohort ranks
   /// participate in collective calls — the run-time "sub-setting mechanism"
   /// SCIRun2 engages "if the needs of a component change at run-time and
@@ -205,6 +236,7 @@ class RemotePort {
   // checks per-source monotonicity.
   std::shared_ptr<int> seq_ = std::make_shared<int>(0);
   bool check_simple_ = false;
+  std::optional<RetryPolicy> retry_;
   std::map<int, std::vector<std::optional<dad::DescriptorPtr>>> layout_cache_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "trace/trace.hpp"
 
@@ -25,7 +26,7 @@ CommState::CommState(Universe* u, std::vector<int> member_ids)
     : uni(u), members(std::move(member_ids)) {
   boxes.reserve(members.size());
   for (std::size_t i = 0; i < members.size(); ++i)
-    boxes.push_back(std::make_unique<Mailbox>(uni));
+    boxes.push_back(std::make_unique<Mailbox>(uni, members[i]));
   entries.resize(members.size());
   results.resize(members.size());
 }
@@ -51,6 +52,26 @@ void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
   st_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
   st_->uni->count_message(data.size());
   trace::instant("rt.send", "rt", data.size());
+  if (FaultInjector* f = st_->uni->faults()) {
+    const int me = st_->members[rank_];  // universe rank of the sender
+    f->on_op(me);                        // kill clock; may throw KilledError
+    switch (f->on_send(me, tag)) {
+      case FaultAction::Drop:
+        return;  // the sender believes the send completed; nothing arrives
+      case FaultAction::Duplicate:
+        st_->boxes[dst]->put(Message{rank_, tag, data});
+        break;
+      case FaultAction::Reorder:
+        st_->boxes[dst]->put(Message{rank_, tag, std::move(data)},
+                             /*reorder=*/true);
+        return;
+      case FaultAction::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(f->delay_ms()));
+        break;
+      case FaultAction::None:
+        break;
+    }
+  }
   st_->boxes[dst]->put(Message{rank_, tag, std::move(data)});
 }
 
@@ -64,18 +85,19 @@ void Communicator::send(int dst, int tag, std::vector<std::byte> data) {
   raw_send(dst, tag, std::move(data));
 }
 
-Message Communicator::recv(int src, int tag) {
+Message Communicator::recv(int src, int tag, int timeout_ms) {
   if (src != kAnySource && (src < 0 || src >= size()))
     throw UsageError("recv: source rank out of range");
   trace::Span span("rt.recv", "rt");
-  return my_box().get(src, tag);
+  return my_box().get(src, tag, timeout_ms);
 }
 
 Message Communicator::recv_matching(
-    int src, int tag, const std::function<bool(const Message&)>& pred) {
+    int src, int tag, const std::function<bool(const Message&)>& pred,
+    int timeout_ms) {
   if (src != kAnySource && (src < 0 || src >= size()))
     throw UsageError("recv_matching: source rank out of range");
-  return my_box().get_if(src, tag, pred);
+  return my_box().get_if(src, tag, pred, timeout_ms);
 }
 
 Request Communicator::isend(int dst, int tag, std::span<const std::byte> data) {
@@ -177,22 +199,7 @@ Communicator Communicator::split(int color, int key) {
   std::unique_lock lock(st.split_mu);
 
   auto wait_until = [&](auto pred) {
-    if (pred()) return;
-    uni->block_enter();
-    while (!pred()) {
-      if (uni->aborted()) {
-        uni->block_exit();
-        throw AbortError("universe aborted while blocked in split");
-      }
-      if (uni->deadlocked()) {
-        uni->block_exit();
-        throw DeadlockError("deadlock detected while blocked in split" +
-                            uni->deadlock_report());
-      }
-      st.split_cv.wait_for(lock, std::chrono::milliseconds(50));
-      uni->check_deadlock();
-    }
-    uni->block_exit();
+    uni->blocked_wait(lock, st.split_cv, "split", pred);
   };
 
   using detail::CommState;

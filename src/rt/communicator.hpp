@@ -98,7 +98,10 @@ class Communicator {
   }
 
   /// Blocking matched receive; wildcards kAnySource / kAnyTag allowed.
-  Message recv(int src, int tag);
+  /// `timeout_ms` is the per-call deadline: < 0 selects the spawn-wide
+  /// default (SpawnOptions::default_recv_timeout_ms), 0 waits forever, > 0
+  /// throws TimeoutError when no match arrived in time.
+  Message recv(int src, int tag, int timeout_ms = -1);
 
   template <class T>
     requires std::is_trivially_copyable_v<T>
@@ -128,7 +131,8 @@ class Communicator {
   /// envelope-peek frameworks need to pull a specific logical message out
   /// of a shared tag stream (MPI_Mprobe analogue).
   Message recv_matching(int src, int tag,
-                        const std::function<bool(const Message&)>& pred);
+                        const std::function<bool(const Message&)>& pred,
+                        int timeout_ms = -1);
 
   /// Non-blocking probe for a matching queued message.
   bool probe(int src, int tag);

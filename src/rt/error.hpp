@@ -34,4 +34,23 @@ class UsageError : public Error {
   using Error::Error;
 };
 
+/// Raised when a blocking receive (or split/wait) exceeds its per-call
+/// deadline — either an explicit timeout argument or the spawn-wide
+/// SpawnOptions::default_recv_timeout_ms. Distinct from DeadlockError: a
+/// timeout fires on ONE rank as soon as ITS call stalls, whereas the
+/// watchdog needs every rank of the universe idle-blocked.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised by the fault-injection layer on the rank a FaultPlan kills. The
+/// runtime treats it as a silent death — siblings are NOT aborted (a crashed
+/// process sends no notice); they discover the failure through timeouts or
+/// the watchdog. User code should let it propagate.
+class KilledError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace mxn::rt

@@ -1,0 +1,165 @@
+#include "rt/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "rt/error.hpp"
+#include "trace/trace.hpp"
+
+namespace mxn::rt {
+
+namespace {
+
+// splitmix64: cheap, well-distributed stateless mixer — the decision for a
+// given (seed, rank, counter) is a pure function of those three values.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw UsageError("fault plan: bad value '" + v + "' for '" + key + "'");
+  }
+}
+
+int parse_int(const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const int i = std::stoi(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return i;
+  } catch (const std::exception&) {
+    throw UsageError("fault plan: bad value '" + v + "' for '" + key + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan p;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw UsageError("fault plan: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(parse_int(key, val));
+    } else if (key == "drop") {
+      p.drop = parse_double(key, val);
+    } else if (key == "dup") {
+      p.dup = parse_double(key, val);
+    } else if (key == "reorder") {
+      p.reorder = parse_double(key, val);
+    } else if (key == "delay") {
+      p.delay = parse_double(key, val);
+    } else if (key == "delay_ms") {
+      p.delay_ms = parse_int(key, val);
+    } else if (key == "kill_rank") {
+      p.kill_rank = parse_int(key, val);
+    } else if (key == "kill_after") {
+      p.kill_after = parse_int(key, val);
+    } else if (key == "min_tag") {
+      p.min_tag = parse_int(key, val);
+    } else {
+      throw UsageError("fault plan: unknown key '" + key + "'");
+    }
+  }
+  for (double r : {p.drop, p.dup, p.reorder, p.delay})
+    if (r < 0 || r > 1)
+      throw UsageError("fault plan: rates must be within [0, 1]");
+  return p;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* v = std::getenv("MXN_FAULTS");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return parse(v);
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed << ",drop=" << drop << ",dup=" << dup
+     << ",reorder=" << reorder << ",delay=" << delay
+     << ",delay_ms=" << delay_ms << ",kill_rank=" << kill_rank
+     << ",kill_after=" << kill_after << ",min_tag=" << min_tag;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int nranks)
+    : plan_(plan),
+      ops_(static_cast<std::size_t>(nranks)),
+      sends_(static_cast<std::size_t>(nranks)) {}
+
+void FaultInjector::on_op(int rank) {
+  if (rank < 0 || rank >= static_cast<int>(ops_.size())) return;
+  const auto op = ops_[rank].fetch_add(1, std::memory_order_relaxed);
+  // Sticky: every operation at or past the appointed one throws, so user
+  // code that (wrongly) catches KilledError cannot resurrect the rank.
+  if (rank == plan_.kill_rank && plan_.kill_after >= 0 &&
+      op >= static_cast<std::uint64_t>(plan_.kill_after)) {
+    if (op == static_cast<std::uint64_t>(plan_.kill_after)) {
+      killed_.store(true, std::memory_order_relaxed);
+      static trace::Counter& killed = trace::counter("fault.killed");
+      killed.add(1);
+      trace::instant("fault.kill", "fault", op);
+    }
+    throw KilledError("fault plan killed rank " + std::to_string(rank) +
+                      " at its operation #" + std::to_string(op));
+  }
+}
+
+double FaultInjector::uniform(int rank, std::uint64_t op) const {
+  const std::uint64_t h = mix64(plan_.seed ^ mix64(
+      (static_cast<std::uint64_t>(rank) << 32) ^ op));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+FaultAction FaultInjector::on_send(int rank, int tag) {
+  if (rank < 0 || rank >= static_cast<int>(sends_.size()))
+    return FaultAction::None;
+  if (tag < plan_.min_tag) return FaultAction::None;  // spares internal tags
+  const auto op = sends_[rank].fetch_add(1, std::memory_order_relaxed);
+  double u = uniform(rank, op);
+  if (u < plan_.drop) {
+    static trace::Counter& dropped = trace::counter("fault.dropped");
+    dropped.add(1);
+    trace::instant("fault.drop", "fault", static_cast<std::uint64_t>(tag));
+    return FaultAction::Drop;
+  }
+  u -= plan_.drop;
+  if (u < plan_.dup) {
+    static trace::Counter& duplicated = trace::counter("fault.duplicated");
+    duplicated.add(1);
+    trace::instant("fault.dup", "fault", static_cast<std::uint64_t>(tag));
+    return FaultAction::Duplicate;
+  }
+  u -= plan_.dup;
+  if (u < plan_.reorder) {
+    static trace::Counter& reordered = trace::counter("fault.reordered");
+    reordered.add(1);
+    trace::instant("fault.reorder", "fault", static_cast<std::uint64_t>(tag));
+    return FaultAction::Reorder;
+  }
+  u -= plan_.reorder;
+  if (u < plan_.delay) {
+    static trace::Counter& delayed = trace::counter("fault.delayed");
+    delayed.add(1);
+    trace::instant("fault.delay", "fault", static_cast<std::uint64_t>(tag));
+    return FaultAction::Delay;
+  }
+  return FaultAction::None;
+}
+
+}  // namespace mxn::rt

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mxn::rt {
+
+/// Deterministic, seeded chaos for one spawn (docs/FAULTS.md). A plan is
+/// attached via SpawnOptions::faults (or the MXN_FAULTS environment
+/// variable) and interpreted at the mailbox choke-point every message and
+/// every blocking operation passes through, so every layer built on the
+/// runtime — core M×N, PRMI, DCA, InterComm, MCT — inherits the chaos.
+///
+/// Determinism: each fault decision is a pure hash of (seed, universe rank,
+/// that rank's operation counter), never of wall-clock time or thread
+/// interleaving. Two runs of the same program with the same plan inject the
+/// same faults at the same points of each rank's program order.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-message fates, evaluated in this order; probabilities in [0, 1].
+  double drop = 0;     // message silently discarded
+  double dup = 0;      // message delivered twice
+  double reorder = 0;  // message queue-jumps ahead of already-queued ones
+  double delay = 0;    // sender sleeps delay_ms before delivery
+  int delay_ms = 1;
+
+  // Kill `kill_rank` when it reaches its `kill_after`-th counted operation
+  // (blocking sends + blocking receives, in that rank's program order).
+  // Negative values disable the kill.
+  int kill_rank = -1;
+  int kill_after = -1;
+
+  // Faults apply only to messages with tag >= min_tag. The default spares
+  // nothing user-visible; internal collective tags (< 0) are always spared
+  // so a plan cannot corrupt barrier/bcast plumbing it has no model of.
+  int min_tag = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return drop > 0 || dup > 0 || reorder > 0 || delay > 0 ||
+           (kill_rank >= 0 && kill_after >= 0);
+  }
+
+  /// Parse "key=value[,key=value...]" — the MXN_FAULTS syntax, e.g.
+  /// "seed=7,drop=0.05,dup=0.05,kill_rank=2,kill_after=40". Unknown keys
+  /// and malformed values throw UsageError.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from MXN_FAULTS, if the variable is set and non-empty.
+  static std::optional<FaultPlan> from_env();
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What to do with one message about to be delivered.
+enum class FaultAction : std::uint8_t { None, Drop, Duplicate, Reorder, Delay };
+
+/// Per-universe interpreter of a FaultPlan. Thread-safe: per-rank atomic
+/// counters, immutable plan. Every injected fault increments a counter in
+/// the trace registry ("fault.dropped", "fault.duplicated", "fault.reordered",
+/// "fault.delayed", "fault.killed") and records a trace instant, so chaos
+/// runs are auditable in the Chrome/Perfetto export.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int nranks);
+
+  /// Entry hook of every counted operation (blocking send/recv) of `rank`.
+  /// From the rank's kill_after-th operation on, every call throws
+  /// KilledError — the death is sticky, so user code that catches the error
+  /// cannot keep communicating on a "dead" rank.
+  void on_op(int rank);
+
+  /// Decide the fate of a message `rank` is sending with `tag`. Counts and
+  /// traces the injected fault (Drop/Duplicate/Reorder are recorded here;
+  /// the caller enacts them).
+  FaultAction on_send(int rank, int tag);
+
+  [[nodiscard]] int delay_ms() const { return plan_.delay_ms; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] double uniform(int rank, std::uint64_t op) const;
+
+  FaultPlan plan_;
+  // Indexed by universe rank: counted ops (kill clock) and send decisions.
+  std::vector<std::atomic<std::uint64_t>> ops_;
+  std::vector<std::atomic<std::uint64_t>> sends_;
+  std::atomic<bool> killed_{false};
+};
+
+}  // namespace mxn::rt

@@ -7,14 +7,20 @@
 
 namespace mxn::rt {
 
-Mailbox::Mailbox(Universe* uni) : uni_(uni) { uni_->register_mailbox(this); }
+Mailbox::Mailbox(Universe* uni, int owner_rank)
+    : uni_(uni), owner_(owner_rank) {
+  uni_->register_mailbox(this);
+}
 
 Mailbox::~Mailbox() { uni_->unregister_mailbox(this); }
 
-void Mailbox::put(Message msg) {
+void Mailbox::put(Message msg, bool reorder) {
   {
     std::lock_guard lock(mu_);
-    q_.push_back(std::move(msg));
+    if (reorder)
+      q_.push_front(std::move(msg));
+    else
+      q_.push_back(std::move(msg));
   }
   uni_->note_activity();
   cv_.notify_all();
@@ -31,33 +37,28 @@ int Mailbox::find_match(int src, int tag) const {
   return -1;
 }
 
-Message Mailbox::get(int src, int tag) {
+Message Mailbox::take_at(int idx) {
+  Message out = std::move(q_[idx]);
+  q_.erase(q_.begin() + idx);
+  return out;
+}
+
+Message Mailbox::get(int src, int tag, int timeout_ms) {
+  uni_->fault_on_op(owner_);
   std::unique_lock lock(mu_);
   int idx = find_match(src, tag);
   if (idx < 0) {
     static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
     trace::Span wait("rt.wait", "rt", 0, &wait_ns);
-    uni_->block_enter();
-    while (true) {
-      if (uni_->aborted()) {
-        uni_->block_exit();
-        throw AbortError("universe aborted while blocked in recv");
-      }
-      if (uni_->deadlocked()) {
-        uni_->block_exit();
-        throw DeadlockError("all processes blocked in matched receives" +
-                            uni_->deadlock_report());
-      }
-      idx = find_match(src, tag);
-      if (idx >= 0) break;
-      cv_.wait_for(lock, std::chrono::milliseconds(50));
-      uni_->check_deadlock();
-    }
-    uni_->block_exit();
+    uni_->blocked_wait(
+        lock, cv_, "recv",
+        [&] {
+          idx = find_match(src, tag);
+          return idx >= 0;
+        },
+        timeout_ms);
   }
-  Message out = std::move(q_[idx]);
-  q_.erase(q_.begin() + idx);
-  return out;
+  return take_at(idx);
 }
 
 int Mailbox::find_match_if(
@@ -74,42 +75,30 @@ int Mailbox::find_match_if(
 }
 
 Message Mailbox::get_if(int src, int tag,
-                        const std::function<bool(const Message&)>& pred) {
+                        const std::function<bool(const Message&)>& pred,
+                        int timeout_ms) {
+  uni_->fault_on_op(owner_);
   std::unique_lock lock(mu_);
   int idx = find_match_if(src, tag, pred);
   if (idx < 0) {
     static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
     trace::Span wait("rt.wait", "rt", 0, &wait_ns);
-    uni_->block_enter();
-    while (true) {
-      if (uni_->aborted()) {
-        uni_->block_exit();
-        throw AbortError("universe aborted while blocked in recv");
-      }
-      if (uni_->deadlocked()) {
-        uni_->block_exit();
-        throw DeadlockError("all processes blocked in matched receives" +
-                            uni_->deadlock_report());
-      }
-      idx = find_match_if(src, tag, pred);
-      if (idx >= 0) break;
-      cv_.wait_for(lock, std::chrono::milliseconds(50));
-      uni_->check_deadlock();
-    }
-    uni_->block_exit();
+    uni_->blocked_wait(
+        lock, cv_, "recv",
+        [&] {
+          idx = find_match_if(src, tag, pred);
+          return idx >= 0;
+        },
+        timeout_ms);
   }
-  Message out = std::move(q_[idx]);
-  q_.erase(q_.begin() + idx);
-  return out;
+  return take_at(idx);
 }
 
 std::optional<Message> Mailbox::try_get(int src, int tag) {
   std::lock_guard lock(mu_);
   const int idx = find_match(src, tag);
   if (idx < 0) return std::nullopt;
-  Message out = std::move(q_[idx]);
-  q_.erase(q_.begin() + idx);
-  return out;
+  return take_at(idx);
 }
 
 bool Mailbox::probe(int src, int tag) {

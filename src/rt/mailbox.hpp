@@ -17,18 +17,24 @@ namespace mxn::rt {
 /// operations safe (all ranks issue collectives in the same program order).
 class Mailbox {
  public:
-  explicit Mailbox(Universe* uni);
+  /// `owner_rank` is the universe rank of the thread that receives from this
+  /// box; the fault layer uses it as the kill clock for blocking receives.
+  Mailbox(Universe* uni, int owner_rank);
+
   ~Mailbox();
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Deposit a message (called from the sending thread).
-  void put(Message msg);
+  /// Deposit a message (called from the sending thread). With
+  /// `reorder` set (fault injection), the message queue-jumps ahead of
+  /// everything already waiting, violating per-(src, tag) FIFO on purpose.
+  void put(Message msg, bool reorder = false);
 
   /// Blocking matched receive. Throws AbortError if the universe aborted,
-  /// DeadlockError if the watchdog trips while we wait.
-  Message get(int src, int tag);
+  /// DeadlockError if the watchdog trips, TimeoutError when the deadline
+  /// passes (timeout_ms < 0 selects the spawn-wide default, 0 = none).
+  Message get(int src, int tag, int timeout_ms = -1);
 
   /// Non-blocking matched receive.
   std::optional<Message> try_get(int src, int tag);
@@ -37,7 +43,8 @@ class Mailbox {
   /// predicate — the MPI_Mprobe analogue frameworks use to peek envelopes
   /// before committing to a message. Among matches, FIFO order holds.
   Message get_if(int src, int tag,
-                 const std::function<bool(const Message&)>& pred);
+                 const std::function<bool(const Message&)>& pred,
+                 int timeout_ms = -1);
 
   /// Is there a matching message queued right now? (MPI_Iprobe analogue.)
   bool probe(int src, int tag);
@@ -51,7 +58,11 @@ class Mailbox {
   int find_match_if(int src, int tag,
                     const std::function<bool(const Message&)>& pred) const;
 
+  // Pop q_[idx]; must hold mu_.
+  Message take_at(int idx);
+
   Universe* uni_;
+  int owner_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> q_;

@@ -35,11 +35,14 @@ class Request {
   }
 
   /// Block until complete. For receives, returns the matched message; for
-  /// sends, returns an empty message.
-  Message wait() {
+  /// sends, returns an empty message. `timeout_ms` bounds the wait like
+  /// Communicator::recv: < 0 uses the spawn-wide default, 0 waits forever,
+  /// > 0 throws TimeoutError on expiry (the request stays pending and can
+  /// be waited on again).
+  Message wait(int timeout_ms = -1) {
     if (!st_) return {};
     if (!st_->done) {
-      st_->msg = st_->box->get(st_->src, st_->tag);
+      st_->msg = st_->box->get(st_->src, st_->tag, timeout_ms);
       st_->done = true;
     }
     return std::move(st_->msg);

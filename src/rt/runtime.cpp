@@ -18,13 +18,20 @@ void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
   if (nprocs <= 0) throw UsageError("spawn: nprocs must be positive");
   if (opts.trace || trace::env_enabled()) trace::set_enabled(true);
 
-  auto uni = std::make_unique<Universe>(nprocs, opts.deadlock_timeout_ms);
+  auto uni = std::make_unique<Universe>(nprocs, opts.deadlock_timeout_ms,
+                                        opts.default_recv_timeout_ms);
+  const std::optional<FaultPlan> plan =
+      opts.faults ? opts.faults : FaultPlan::from_env();
+  if (plan && plan->enabled())
+    uni->set_faults(std::make_unique<FaultInjector>(*plan, nprocs));
+
   std::vector<int> ids(nprocs);
   std::iota(ids.begin(), ids.end(), 0);
   auto world = std::make_shared<detail::CommState>(uni.get(), std::move(ids));
 
   std::mutex err_mu;
   std::exception_ptr first_error;
+  std::exception_ptr kill_error;
 
   std::vector<std::thread> threads;
   threads.reserve(nprocs);
@@ -36,6 +43,15 @@ void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
         fn(comm);
       } catch (const AbortError&) {
         // A sibling failed first; this thread was unwound deliberately.
+      } catch (const KilledError&) {
+        // Fault-injected death is SILENT: the siblings are not aborted —
+        // they must detect the loss through their own deadlines or the
+        // watchdog, exactly like peers of a crashed MPI process.
+        {
+          std::lock_guard lock(err_mu);
+          if (!kill_error) kill_error = std::current_exception();
+        }
+        uni->note_death();
       } catch (...) {
         {
           std::lock_guard lock(err_mu);
@@ -47,7 +63,10 @@ void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
   }
   for (auto& t : threads) t.join();
 
+  // A sibling's real error (often the Timeout/Deadlock the kill provoked)
+  // outranks the kill itself, but a kill alone still surfaces as typed.
   if (first_error) std::rethrow_exception(first_error);
+  if (kill_error) std::rethrow_exception(kill_error);
 }
 
 }  // namespace mxn::rt

@@ -17,7 +17,7 @@ std::int64_t steady_now_ns() {
 
 void Universe::block_enter() {
   const int now_blocked = blocked_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (now_blocked == size_) {
+  if (now_blocked == size_ - dead_.load(std::memory_order_acquire)) {
     all_blocked_since_.store(steady_now_ns(), std::memory_order_release);
   }
 }
@@ -31,17 +31,29 @@ void Universe::note_activity() {
   all_blocked_since_.store(0, std::memory_order_release);
 }
 
+void Universe::note_death() {
+  const int dead = dead_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // The dying thread will never block again: if everyone still alive is
+  // already parked, the all-blocked clock starts now, not at the next
+  // block_enter (which may never come).
+  if (blocked_.load(std::memory_order_acquire) == size_ - dead) {
+    all_blocked_since_.store(steady_now_ns(), std::memory_order_release);
+  }
+  notify_all_mailboxes();
+}
+
 bool Universe::check_deadlock() {
   if (deadlock_timeout_ms_ <= 0) return false;
   if (deadlocked_.load(std::memory_order_acquire)) return true;
-  if (blocked_.load(std::memory_order_acquire) != size_) return false;
+  const int live = size_ - dead_.load(std::memory_order_acquire);
+  if (blocked_.load(std::memory_order_acquire) != live) return false;
   const std::int64_t since = all_blocked_since_.load(std::memory_order_acquire);
   if (since == 0) return false;
   const std::int64_t elapsed_ms = (steady_now_ns() - since) / 1'000'000;
   if (elapsed_ms < deadlock_timeout_ms_) return false;
   {
     // First tripper builds the causal timeline before publishing the flag;
-    // every rank is idle-blocked, so the event rings are quiescent.
+    // every live rank is idle-blocked, so the event rings are quiescent.
     std::lock_guard lock(report_mu_);
     if (!deadlocked_.load(std::memory_order_acquire)) {
       const std::string tail = trace::tail_report(8);

@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "rt/error.hpp"
+#include "rt/fault.hpp"
 #include "trace/trace.hpp"
 
 namespace mxn::rt {
@@ -27,16 +31,23 @@ struct StatsSnapshot {
 
 /// Shared state of one spawn(): the set of "processes" (threads), global
 /// traffic counters, the abort flag used to unwind siblings after a failure,
-/// and the all-blocked watchdog that detects communication deadlock.
+/// the optional fault injector, and the all-blocked watchdog that detects
+/// communication deadlock.
 ///
-/// The watchdog is timeout-based: when every thread of the universe is
+/// The watchdog is timeout-based: when every live thread of the universe is
 /// blocked in a matched receive and no message has been delivered for
 /// `deadlock_timeout_ms`, all blocked threads throw DeadlockError. A timeout
-/// of zero disables detection.
+/// of zero disables detection. Ranks killed by a fault plan are subtracted
+/// from the all-blocked head count, so a silent death cannot mask a
+/// deadlock among the survivors.
 class Universe {
  public:
-  Universe(int size, int deadlock_timeout_ms)
-      : size_(size), deadlock_timeout_ms_(deadlock_timeout_ms) {}
+  Universe(int size, int deadlock_timeout_ms, int recv_timeout_ms = 0)
+      : size_(size),
+        deadlock_timeout_ms_(deadlock_timeout_ms),
+        recv_timeout_ms_(recv_timeout_ms),
+        messages_ctr_(trace::counter("rt.messages")),
+        bytes_ctr_(trace::counter("rt.bytes")) {}
 
   [[nodiscard]] int size() const { return size_; }
 
@@ -45,11 +56,11 @@ class Universe {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
     // Mirror into the process-wide metrics registry (docs/OBSERVABILITY.md);
-    // snapshots via stats() keep working unchanged.
-    static trace::Counter& messages = trace::counter("rt.messages");
-    static trace::Counter& bytes_c = trace::counter("rt.bytes");
-    messages.add(1);
-    bytes_c.add(bytes);
+    // snapshots via stats() keep working unchanged. The registry references
+    // are resolved once per universe (members), keeping the magic-static
+    // guard off this hot path.
+    messages_ctr_.add(1);
+    bytes_ctr_.add(bytes);
     note_activity();
   }
 
@@ -67,13 +78,80 @@ class Universe {
     return aborted_.load(std::memory_order_acquire);
   }
 
+  // --- fault injection ----------------------------------------------------
+  void set_faults(std::unique_ptr<FaultInjector> f) { faults_ = std::move(f); }
+  [[nodiscard]] FaultInjector* faults() const { return faults_.get(); }
+
+  /// Kill-clock tick for `rank` (a universe rank). Throws KilledError at the
+  /// rank's appointed operation when a fault plan says so; no-op otherwise.
+  void fault_on_op(int rank) {
+    if (faults_) faults_->on_op(rank);
+  }
+
+  /// A rank died silently (fault-injected kill). The survivors are not
+  /// aborted — they must discover the failure through their own deadlines,
+  /// exactly like peers of a crashed MPI process.
+  void note_death();
+  [[nodiscard]] int dead() const {
+    return dead_.load(std::memory_order_acquire);
+  }
+
+  // --- per-call deadlines ---------------------------------------------------
+  /// Spawn-wide default receive deadline (SpawnOptions); 0 = no deadline.
+  [[nodiscard]] int default_recv_timeout_ms() const {
+    return recv_timeout_ms_;
+  }
+
+  /// The one blocked-wait loop of the runtime: every facility that parks a
+  /// thread on a condition variable (mailbox receives, split rendezvous)
+  /// funnels through here so the abort / deadlock / deadline checks exist
+  /// exactly once. `ready` is re-evaluated under `lock`; `timeout_ms` < 0
+  /// selects the spawn-wide default, 0 disables the deadline.
+  ///
+  /// Throws AbortError when the universe aborted, DeadlockError when the
+  /// watchdog trips, TimeoutError when the deadline passes first.
+  template <class Pred>
+  void blocked_wait(std::unique_lock<std::mutex>& lock,
+                    std::condition_variable& cv, const char* what,
+                    Pred&& ready, int timeout_ms = -1) {
+    if (ready()) return;
+    const int eff = timeout_ms < 0 ? recv_timeout_ms_ : timeout_ms;
+    const std::int64_t deadline_ns =
+        eff > 0 ? trace::now_ns() + static_cast<std::int64_t>(eff) * 1'000'000
+                : 0;
+    block_enter();
+    while (true) {
+      if (aborted()) {
+        block_exit();
+        throw AbortError(std::string("universe aborted while blocked in ") +
+                         what);
+      }
+      if (deadlocked()) {
+        block_exit();
+        throw DeadlockError(
+            std::string("all live processes blocked in matched waits (") +
+            what + ")" + deadlock_report());
+      }
+      if (ready()) break;
+      if (deadline_ns != 0 && trace::now_ns() >= deadline_ns) {
+        block_exit();
+        trace::instant("rt.timeout", "rt", static_cast<std::uint64_t>(eff));
+        throw TimeoutError(std::string(what) + " deadline of " +
+                           std::to_string(eff) + " ms exceeded");
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(50));
+      check_deadlock();
+    }
+    block_exit();
+  }
+
   // --- deadlock watchdog ----------------------------------------------------
   void block_enter();
   void block_exit();
   void note_activity();
 
   /// Called from the wait loop of a blocked thread; returns true (and trips
-  /// the deadlock flag, waking everyone) when the whole universe has been
+  /// the deadlock flag, waking everyone) when every live thread has been
   /// idle-blocked past the timeout.
   bool check_deadlock();
 
@@ -97,14 +175,20 @@ class Universe {
 
   int size_;
   int deadlock_timeout_ms_;
+  int recv_timeout_ms_;
 
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  trace::Counter& messages_ctr_;
+  trace::Counter& bytes_ctr_;
 
   std::atomic<bool> aborted_{false};
   std::atomic<bool> deadlocked_{false};
   std::mutex report_mu_;  // serializes the one-time deadlock report build
   std::string deadlock_report_;
+
+  std::unique_ptr<FaultInjector> faults_;
+  std::atomic<int> dead_{0};
 
   std::atomic<int> blocked_{0};
   // Steady-clock time (ns since epoch of the clock) at which the universe

@@ -16,6 +16,13 @@ struct Coupling {
   std::vector<int> src_ranks;
   std::vector<int> dst_ranks;
 
+  /// Per-call deadline applied to every channel receive issued while
+  /// executing a schedule over this coupling: < 0 inherits the spawn-wide
+  /// default, 0 waits forever, > 0 throws rt::TimeoutError. Lets a transfer
+  /// fail fast — and typed — when a peer dies or a message is lost, instead
+  /// of parking the rank until the all-blocked watchdog trips.
+  int recv_timeout_ms = -1;
+
   /// This process's rank in the source cohort, or -1 if it is not a member.
   [[nodiscard]] int my_src_rank() const { return role_of(src_ranks); }
   /// This process's rank in the destination cohort, or -1.
