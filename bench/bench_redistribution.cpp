@@ -1,0 +1,201 @@
+// Zero-copy data plane, priced (docs/PERFORMANCE.md): the same M x N
+// redistribution run two ways in one binary.
+//
+//   legacy    — the pre-pool discipline: every send packs into a freshly
+//               allocated vector, receives drain in fixed schedule order,
+//               and the receiver copies the payload out into a typed
+//               staging vector before injecting. Two copies per element.
+//   zero-copy — sched::execute: pack once into a pooled rt::Buffer that is
+//               moved through the runtime, drain in arrival order, inject
+//               straight from the received block. One copy per element.
+//
+// Reports elements/sec and bytes_copied/element (the rt.bytes_copied
+// counter, which counts payload construction and staging copies but not the
+// final inject) and emits BENCH_redistribution.json for CI to archive.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rt/runtime.hpp"
+#include "sched/executor.hpp"
+#include "trace/trace.hpp"
+
+namespace dad = mxn::dad;
+namespace sched = mxn::sched;
+namespace rt = mxn::rt;
+namespace trace = mxn::trace;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+/// 3-D grid dims for p processes: factor p as close to a cube as possible
+/// (same block decomposition bench_fig1_mxn uses).
+std::array<int, 3> cube(int p) {
+  for (int a = static_cast<int>(std::cbrt(double(p)) + 0.5); a >= 1; --a) {
+    if (p % a) continue;
+    const int rest = p / a;
+    for (int b = static_cast<int>(std::sqrt(double(rest)) + 0.5); b >= 1; --b)
+      if (rest % b == 0) return {a, b, rest / b};
+  }
+  return {1, 1, p};
+}
+
+/// The seed's executor, reconstructed for comparison: fresh allocation per
+/// send, fixed-peer-order drain, and a typed staging copy on the receive
+/// side. Exactly two counted copies per element.
+void execute_legacy(const sched::RegionSchedule& s,
+                    const dad::DistArray<double>* src_arr,
+                    dad::DistArray<double>* dst_arr,
+                    const sched::Coupling& c, int tag) {
+  rt::Communicator channel = c.channel;
+  for (const auto& pr : s.sends) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(pr.elements) * sizeof(double);
+    std::vector<std::byte> raw(bytes);  // fresh heap block every transfer
+    double* out = reinterpret_cast<double*>(raw.data());
+    Index off = 0;
+    for (const auto& region : pr.regions) {
+      src_arr->extract(region, out + off);
+      off += region.volume();
+    }
+    rt::note_bytes_copied(bytes);  // copy 1: pack
+    channel.send(c.dst_ranks.at(pr.peer), tag, rt::Buffer(std::move(raw)));
+  }
+  for (const auto& pr : s.recvs) {
+    // Fixed order: blocks on the schedule's first peer even if others are
+    // already queued.
+    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag, c.recv_timeout_ms);
+    std::vector<double> vals(msg.payload.size() / sizeof(double));
+    std::memcpy(vals.data(), msg.payload.data(), msg.payload.size());
+    rt::note_bytes_copied(msg.payload.size());  // copy 2: staging
+    Index off = 0;
+    for (const auto& region : pr.regions) {
+      dst_arr->inject(region, vals.data() + off);
+      off += region.volume();
+    }
+  }
+}
+
+struct Result {
+  double elems_per_s = 0;
+  double copies_per_elem = 0;  // bytes_copied / (elements * sizeof(double))
+};
+
+Result run_case(int m, int n, Index extent, bool legacy, int reps) {
+  const auto gm = cube(m);
+  const auto gn = cube(n);
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, gm[0]), AxisDist::block(extent, gm[1]),
+      AxisDist::block(extent, gm[2])});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(extent, gn[0]), AxisDist::block(extent, gn[1]),
+      AxisDist::block(extent, gn[2])});
+  const double elements = double(extent) * extent * extent;
+
+  double seconds = 0;
+  const auto copied0 = trace::counter("rt.bytes_copied").value();
+  rt::SpawnOptions opts;
+  opts.deadlock_timeout_ms = 60000;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank(), md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill([](const Point& p) { return double(p[0] + p[1] + p[2]); });
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+
+    // Warm up (populates the buffer pool on the zero-copy path).
+    if (legacy)
+      execute_legacy(s, a.get(), b.get(), c, 5);
+    else
+      sched::execute<double>(s, a.get(), b.get(), c, 5);
+    world.barrier();
+    const double t0 = bench::now_s();
+    for (int r = 0; r < reps; ++r) {
+      if (legacy)
+        execute_legacy(s, a.get(), b.get(), c, 5);
+      else
+        sched::execute<double>(s, a.get(), b.get(), c, 5);
+    }
+    world.barrier();
+    if (world.rank() == 0) seconds = bench::now_s() - t0;
+  }, opts);
+
+  Result res;
+  res.elems_per_s = elements * reps / seconds;
+  const auto copied = trace::counter("rt.bytes_copied").value() - copied0;
+  // The warm-up rep also counted: reps + 1 transfers of `elements` doubles.
+  res.copies_per_elem =
+      double(copied) / ((reps + 1) * elements * sizeof(double));
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Redistribution data plane: legacy copy path vs "
+              "zero-copy pooled buffers ===\n");
+  const Index extent = 24;  // 24^3 doubles = 110 KiB
+  const int reps = 5;
+  struct Case { int m, n; };
+  const std::vector<Case> cases = {{4, 3}, {8, 2}, {16, 16}};
+  struct Row { int m, n; Result before, after; };
+  std::vector<Row> rows;
+  bench::Table t({"M", "N", "elements", "legacy_Melem/s", "zerocopy_Melem/s",
+                  "legacy_copies/elem", "zerocopy_copies/elem", "copy_ratio"});
+  for (const auto& cs : cases) {
+    Row r{cs.m, cs.n, run_case(cs.m, cs.n, extent, /*legacy=*/true, reps),
+          run_case(cs.m, cs.n, extent, /*legacy=*/false, reps)};
+    rows.push_back(r);
+    t.row({std::to_string(r.m), std::to_string(r.n),
+           std::to_string(extent * extent * extent),
+           bench::fmt("%.2f", r.before.elems_per_s / 1e6),
+           bench::fmt("%.2f", r.after.elems_per_s / 1e6),
+           bench::fmt("%.2f", r.before.copies_per_elem),
+           bench::fmt("%.2f", r.after.copies_per_elem),
+           bench::fmt("%.2fx",
+                      r.before.copies_per_elem / r.after.copies_per_elem)});
+  }
+  t.print();
+  std::printf("\nShape check: the zero-copy path performs exactly one "
+              "counted copy per element (the pack); the legacy path two "
+              "(pack + receive staging). The ratio must be >= 2.0x.\n");
+
+  std::FILE* f = std::fopen("BENCH_redistribution.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_redistribution.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"redistribution\",\n"
+                  "  \"extent\": %d,\n  \"reps\": %d,\n  \"cases\": [\n",
+               int(extent), reps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"m\": %d, \"n\": %d, \"elements\": %d,\n"
+        "     \"legacy\": {\"elems_per_s\": %.0f, "
+        "\"bytes_copied_per_elem\": %.2f},\n"
+        "     \"zerocopy\": {\"elems_per_s\": %.0f, "
+        "\"bytes_copied_per_elem\": %.2f},\n"
+        "     \"copy_ratio\": %.2f}%s\n",
+        r.m, r.n, int(extent * extent * extent), r.before.elems_per_s,
+        r.before.copies_per_elem * sizeof(double), r.after.elems_per_s,
+        r.after.copies_per_elem * sizeof(double),
+        r.before.copies_per_elem / r.after.copies_per_elem,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_redistribution.json\n");
+  return 0;
+}

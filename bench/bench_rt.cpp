@@ -52,9 +52,9 @@ double collective_cost(const char* which, int nprocs, int iters) {
       } else if (op == "allgather") {
         comm.allgather_value<int>(comm.rank());
       } else if (op == "alltoall") {
-        std::vector<std::vector<std::byte>> out(
-            comm.size(), std::vector<std::byte>(8));
-        comm.alltoall(out);
+        std::vector<rt::Buffer> out(comm.size());
+        for (auto& o : out) o = rt::Buffer::allocate(8);
+        comm.alltoall(std::move(out));
       }
     };
     for (int i = 0; i < 10; ++i) once();

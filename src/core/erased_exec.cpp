@@ -1,5 +1,7 @@
 #include "core/erased_exec.hpp"
 
+#include "rt/buffer.hpp"
+#include "sched/executor.hpp"
 #include "trace/trace.hpp"
 
 namespace mxn::core {
@@ -28,38 +30,45 @@ MovedCounts execute_erased(const sched::RegionSchedule& s,
                        "' is not writable (access mode)");
   }
   for (const auto& pr : s.sends) {
-    std::vector<std::byte> buf(static_cast<std::size_t>(pr.elements) *
-                               src->elem_size);
+    const std::size_t bytes =
+        static_cast<std::size_t>(pr.elements) * src->elem_size;
+    rt::Buffer buf = rt::Buffer::allocate(bytes);
+    std::byte* out = buf.mutable_data();
     std::size_t off = 0;
     for (const auto& region : pr.regions) {
-      src->extract(region, buf.data() + off);
+      src->extract(region, out + off);
       off += static_cast<std::size_t>(region.volume()) * src->elem_size;
     }
+    rt::note_bytes_copied(bytes);
     moved.elements += static_cast<std::uint64_t>(pr.elements);
-    moved.bytes += buf.size();
-    channel.send(c.dst_ranks.at(pr.peer), tag, std::move(buf));
+    moved.bytes += bytes;
+    channel.isend(c.dst_ranks.at(pr.peer), tag, std::move(buf));
   }
   // Staged mode: land every payload before the first inject, so a fault
   // while any receive is outstanding cannot leave the field half-written.
-  std::vector<std::vector<std::byte>> pending;
-  if (staged) pending.reserve(s.recvs.size());
-  for (const auto& pr : s.recvs) {
-    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag, c.recv_timeout_ms);
-    if (msg.payload.size() !=
-        static_cast<std::size_t>(pr.elements) * dst->elem_size)
-      throw UsageError("erased transfer payload size mismatch");
-    if (staged) {
-      pending.push_back(std::move(msg.payload));
-      continue;
-    }
-    std::size_t off = 0;
-    for (const auto& region : pr.regions) {
-      dst->inject(region, msg.payload.data() + off);
-      off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
-    }
-    moved.elements += static_cast<std::uint64_t>(pr.elements);
-    moved.bytes += msg.payload.size();
-  }
+  // Payloads are drained in arrival order; staging keeps a reference to
+  // each arrived block (no copy) until the commit walk injects from it.
+  std::vector<rt::Buffer> pending;
+  if (staged) pending.resize(s.recvs.size());
+  sched::detail::drain_arrival_order(
+      channel, c.src_ranks, s.recvs, tag, c.recv_timeout_ms,
+      [&](std::size_t i, rt::Message msg) {
+        const auto& pr = s.recvs[i];
+        if (msg.payload.size() !=
+            static_cast<std::size_t>(pr.elements) * dst->elem_size)
+          throw UsageError("erased transfer payload size mismatch");
+        if (staged) {
+          pending[i] = std::move(msg.payload);
+          return;
+        }
+        std::size_t off = 0;
+        for (const auto& region : pr.regions) {
+          dst->inject(region, msg.payload.data() + off);
+          off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
+        }
+        moved.elements += static_cast<std::uint64_t>(pr.elements);
+        moved.bytes += msg.payload.size();
+      });
   if (staged) {
     for (std::size_t i = 0; i < s.recvs.size(); ++i) {
       const auto& pr = s.recvs[i];

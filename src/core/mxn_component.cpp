@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "core/erased_exec.hpp"
 #include "sched/schedule.hpp"
@@ -26,7 +27,7 @@ constexpr int kConnBase = 1000;
 // consumed and dropped, never mistaken for the retry.
 constexpr std::size_t kSerialBytes = sizeof(std::uint64_t);
 
-std::uint64_t peek_serial(const std::vector<std::byte>& payload) {
+std::uint64_t peek_serial(std::span<const std::byte> payload) {
   if (payload.size() < kSerialBytes)
     throw UsageError("reliable transfer message too short for its serial");
   std::uint64_t s = 0;
@@ -153,7 +154,7 @@ ConnectionId MxNComponent::propose(const ConnectionSpec& spec) {
 }
 
 ConnectionId MxNComponent::accept_proposal() {
-  std::vector<std::byte> bytes;
+  rt::Buffer bytes;
   if (cohort_.rank() == 0) {
     auto msg = channel_.recv(side_ranks_[1 - side_][0], kProposalTag);
     bytes = std::move(msg.payload);
@@ -187,7 +188,7 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
 
   // Exchange descriptors: cohort leaders swap over the channel, then
   // broadcast the peer's descriptor within the cohort.
-  std::vector<std::byte> peer_bytes;
+  rt::Buffer peer_bytes;
   if (cohort_.rank() == 0) {
     rt::PackBuffer b;
     local.descriptor->pack(b);
@@ -284,19 +285,22 @@ bool MxNComponent::try_transfer_attempt(Connection& c) {
   try {
     if (c.i_am_src) {
       for (const auto& pr : s.sends) {
-        std::vector<std::byte> buf(
+        const std::size_t nbytes =
             kSerialBytes +
-            static_cast<std::size_t>(pr.elements) * src->elem_size);
-        put_serial(buf.data(), c.epoch);
+            static_cast<std::size_t>(pr.elements) * src->elem_size;
+        rt::Buffer buf = rt::Buffer::allocate(nbytes);
+        std::byte* out = buf.mutable_data();
+        put_serial(out, c.epoch);
         std::size_t off = kSerialBytes;
         for (const auto& region : pr.regions) {
-          src->extract(region, buf.data() + off);
+          src->extract(region, out + off);
           off += static_cast<std::size_t>(region.volume()) * src->elem_size;
         }
+        rt::note_bytes_copied(nbytes);
         moved.elements += static_cast<std::uint64_t>(pr.elements);
-        moved.bytes += buf.size() - kSerialBytes;
-        channel.send(c.coupling.dst_ranks.at(pr.peer), c.data_tag(),
-                     std::move(buf));
+        moved.bytes += nbytes - kSerialBytes;
+        channel.isend(c.coupling.dst_ranks.at(pr.peer), c.data_tag(),
+                      std::move(buf));
       }
       for (const auto& pr : s.sends) {
         const int peer = c.coupling.dst_ranks.at(pr.peer);
@@ -305,9 +309,11 @@ bool MxNComponent::try_transfer_attempt(Connection& c) {
           if (peek_serial(m.payload) >= c.epoch) break;  // else: stale ack
         }
       }
+      // Every destination gets a reference to the same commit block.
+      const rt::Buffer commit = serial_only(c.epoch);
       for (const auto& pr : s.sends)
         channel.send(c.coupling.dst_ranks.at(pr.peer), c.commit_tag(),
-                     serial_only(c.epoch));
+                     commit);
     }
     if (c.i_am_dst) {
       // Phase 1: stage every peer's payload BEFORE acking anyone — a
@@ -315,23 +321,35 @@ bool MxNComponent::try_transfer_attempt(Connection& c) {
       // of the transfer, not just the ranks wired to it, and nothing is
       // injected yet so any failure below unwinds to the pre-transfer
       // field state.
-      std::vector<std::vector<std::byte>> staged(s.recvs.size());
+      // Staging holds a reference to each arrived payload block (no copy),
+      // and stages in ARRIVAL order: an any-source matched receive takes
+      // whichever peer's payload lands first, so one slow source does not
+      // hold up validation of the others. The predicate only admits peers
+      // that still owe this attempt a payload; a stale serial is consumed
+      // and dropped, leaving its peer owed.
+      std::vector<rt::Buffer> staged(s.recvs.size());
       std::vector<std::uint64_t> serials(s.recvs.size(), 0);
-      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
+      std::map<int, std::size_t> by_src;
+      for (std::size_t i = 0; i < s.recvs.size(); ++i)
+        by_src.emplace(c.coupling.src_ranks.at(s.recvs[i].peer), i);
+      const auto owed = [&](const rt::Message& m) {
+        const auto it = by_src.find(m.src);
+        return it != by_src.end() && staged[it->second].empty();
+      };
+      std::size_t outstanding = s.recvs.size();
+      while (outstanding > 0) {
+        auto m = channel.recv_matching(rt::kAnySource, c.data_tag(), owed, to);
+        const std::size_t i = by_src.at(m.src);
         const auto& pr = s.recvs[i];
-        const int peer = c.coupling.src_ranks.at(pr.peer);
-        for (;;) {
-          auto m = channel.recv(peer, c.data_tag(), to);
-          const std::uint64_t ser = peek_serial(m.payload);
-          if (ser < c.epoch) continue;  // stale attempt: drain and drop
-          if (ser > c.epoch) c.epoch = ser;
-          if (m.payload.size() - kSerialBytes !=
-              static_cast<std::size_t>(pr.elements) * dst->elem_size)
-            throw UsageError("reliable transfer payload size mismatch");
-          staged[i] = std::move(m.payload);
-          serials[i] = ser;
-          break;
-        }
+        const std::uint64_t ser = peek_serial(m.payload);
+        if (ser < c.epoch) continue;  // stale attempt: drain and drop
+        if (ser > c.epoch) c.epoch = ser;
+        if (m.payload.size() - kSerialBytes !=
+            static_cast<std::size_t>(pr.elements) * dst->elem_size)
+          throw UsageError("reliable transfer payload size mismatch");
+        staged[i] = std::move(m.payload);
+        serials[i] = ser;
+        --outstanding;
       }
       for (std::size_t i = 0; i < s.recvs.size(); ++i)
         channel.send(c.coupling.src_ranks.at(s.recvs[i].peer), c.ack_tag(),

@@ -89,7 +89,7 @@ class ParticleSet {
     } else if (dst_set && c.my_dst_rank() == 0) {
       rt::PackBuffer b;
       dst_set->desc_->pack(b);
-      const auto bytes = std::move(b).take();
+      const rt::Buffer bytes = std::move(b).take_buffer();
       for (int s : c.src_ranks) channel.send(s, tag, bytes);
     }
     if (src_set && !dst_set) {

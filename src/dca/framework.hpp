@@ -141,7 +141,7 @@ class DcaFramework {
   /// call when it arrived.
   struct PendingHeader {
     int src = 0;
-    std::vector<std::byte> payload;
+    rt::Buffer payload;
   };
 
   ComponentInfo& comp(const std::string& name);

@@ -41,7 +41,7 @@ sched::Coupling importer_coupling(const EndpointConfig& cfg) {
 dad::DescriptorPtr exchange_descriptor(EndpointConfig& cfg,
                                        const dad::DescriptorPtr& mine,
                                        int tag) {
-  std::vector<std::byte> bytes;
+  rt::Buffer bytes;
   if (cfg.cohort.rank() == 0) {
     rt::PackBuffer b;
     mine->pack(b);
@@ -276,7 +276,7 @@ std::int64_t Importer::do_import(std::int64_t ts) {
   ++stats_.requests;
 
   // Leader learns the verdict and shares it.
-  std::vector<std::byte> vbytes;
+  rt::Buffer vbytes;
   if (cfg_.cohort.rank() == 0) {
     vbytes = cfg_.channel
                  .recv(cfg_.peer_ranks[0], verdict_tag(cfg_.coupling_id))

@@ -23,7 +23,8 @@ sched::RegionSchedule build_region_schedule_partitioned(
     rt::PackBuffer b;
     b.pack(static_cast<std::uint64_t>(my_src_patches.size()));
     for (const auto& p : my_src_patches) p.pack(b);
-    const auto bytes = std::move(b).take();
+    // One refcounted patch-list block shared by every destination.
+    const rt::Buffer bytes = std::move(b).take_buffer();
     for (int d : c.dst_ranks) channel.send(d, patches_tag, bytes);
   }
 

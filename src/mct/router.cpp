@@ -31,7 +31,7 @@ std::vector<linear::ProvenancedSegment> provenance(const GlobalSegMap& gsm,
 /// Swap GSMaps leader-to-leader and broadcast the peer's within the cohort.
 GlobalSegMap exchange_gsm(RouterConfig& cfg, const GlobalSegMap& mine,
                           int tag) {
-  std::vector<std::byte> bytes;
+  rt::Buffer bytes;
   if (cfg.cohort.rank() == 0) {
     rt::PackBuffer b;
     mine.pack(b);

@@ -53,13 +53,13 @@ SparseMatrix::SparseMatrix(rt::Communicator cohort,
 
   // Exchange the request lists: alltoall of needed global columns; the
   // replies become our serve lists (converted to local x indices).
-  std::vector<std::vector<std::byte>> outgoing(n);
+  std::vector<rt::Buffer> outgoing(n);
   for (int p = 0; p < n; ++p) {
     rt::PackBuffer b;
     b.pack(need[p]);
-    outgoing[p] = std::move(b).take();
+    outgoing[p] = std::move(b).take_buffer();
   }
-  auto incoming = cohort_.alltoall(outgoing);
+  auto incoming = cohort_.alltoall(std::move(outgoing));
   for (int p = 0; p < n; ++p) {
     rt::UnpackBuffer u(incoming[p]);
     auto cols = u.unpack_vector<Index>();

@@ -232,7 +232,7 @@ int DistributedFramework::serve_ordered(const std::string& comp_name,
   enum class Ctl : std::uint8_t { Stop, Go };
 
   while (max_calls < 0 || served < max_calls) {
-    std::vector<std::byte> ctl_bytes;
+    rt::Buffer ctl_bytes;
     rt::Message my_header;  // rank 0's own header for the announced call
 
     if (cohort.rank() == 0) {
@@ -488,7 +488,8 @@ bool DistributedFramework::handle_invoke(ConnectionInfo& conn,
       b.pack(static_cast<std::uint8_t>(ReplyKind::Pull));
       b.pack(k);
       target.descriptor->pack(b);
-      const auto bytes = std::move(b).take();
+      // One refcounted block fanned to every participant.
+      const rt::Buffer bytes = std::move(b).take_buffer();
       for (int pw : participants)
         world_.send(pw, return_tag(conn.id), bytes);
     }
@@ -527,7 +528,8 @@ bool DistributedFramework::handle_invoke(ConnectionInfo& conn,
   } else {
     reply.pack(error);
   }
-  const auto reply_bytes = std::move(reply).take();
+  // The cache entry and every destination share one reply block.
+  const rt::Buffer reply_bytes = std::move(reply).take_buffer();
 
   if (independent) {
     conn.reply_cache[src_world] = {seq, reply_bytes};
@@ -601,7 +603,7 @@ const std::vector<std::optional<dad::DescriptorPtr>>& RemotePort::layouts(
   if (it != layout_cache_.end()) return it->second;
 
   auto& conn = fw_->conns_.at(conn_);
-  std::vector<std::byte> bytes;
+  rt::Buffer bytes;
   if (cohort_.rank() == 0) {
     rt::PackBuffer b;
     b.pack(static_cast<std::uint8_t>(MsgKind::LayoutRequest));
@@ -711,7 +713,7 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
     }
     for (int p : pidx)
       std::get<ParallelRef>(args[p]).binding->descriptor->pack(b);
-    return std::move(b).take();
+    return std::move(b).take_buffer();
   };
 
   if (independent) {
@@ -725,7 +727,8 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
   // reaches the rank holding our cached reply.
   const int replier = independent ? target : my % callee_count;
   auto send_headers = [&](int epoch) {
-    const auto header = make_header(epoch);
+    // All callees share one refcounted header block.
+    const rt::Buffer header = make_header(epoch);
     trace::Span deliver("prmi.deliver", "prmi", header.size());
     if (independent) {
       fw_->world_.send(conn.callee_ranks[target], conn.listen, header);
@@ -897,7 +900,7 @@ void RemotePort::shutdown_provider() {
   rt::PackBuffer b;
   b.pack(static_cast<std::uint8_t>(MsgKind::Shutdown));
   b.pack(conn_);
-  const auto bytes = std::move(b).take();
+  const rt::Buffer bytes = std::move(b).take_buffer();
   for (int j = cohort_.rank(); j < callee_count; j += caller_count)
     fw_->world_.send(conn.callee_ranks[j], conn.listen, bytes);
 }

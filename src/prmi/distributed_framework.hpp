@@ -119,8 +119,10 @@ class DistributedFramework {
     // it is never re-executed; the cached reply is resent instead.
     std::map<int, int> last_seq;
     int last_collective_seq = 0;
-    // Last reply sent to each caller world rank: {seq, reply bytes}.
-    std::map<int, std::pair<int, std::vector<std::byte>>> reply_cache;
+    // Last reply sent to each caller world rank: {seq, reply payload}. The
+    // cached Buffer shares the block that was sent — a resend is another
+    // refcount bump, not a copy.
+    std::map<int, std::pair<int, rt::Buffer>> reply_cache;
   };
 
   ComponentInfo& comp(const std::string& name);

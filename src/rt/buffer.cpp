@@ -1,0 +1,137 @@
+#include "rt/buffer.hpp"
+
+#include <mutex>
+
+#include "trace/trace.hpp"
+
+namespace mxn::rt {
+
+namespace {
+
+// Power-of-two buckets from 64 B to 16 MiB; anything larger is served by the
+// allocator directly (one-off jumbo payloads should not pin pool memory).
+constexpr int kMinShift = 6;
+constexpr int kMaxShift = 24;
+constexpr int kBucketCount = kMaxShift - kMinShift + 1;
+// Per-bucket freelist cap: steady-state M×N traffic needs at most a handful
+// of in-flight blocks per bucket; beyond that, give memory back.
+constexpr int kMaxFreePerBucket = 32;
+
+int bucket_for(std::size_t n) {
+  std::size_t cap = std::size_t{1} << kMinShift;
+  for (int b = 0; b < kBucketCount; ++b, cap <<= 1)
+    if (n <= cap) return b;
+  return -1;  // oversize: unpooled
+}
+
+struct Shelf {
+  std::mutex mu;
+  detail::BufferBlock* head = nullptr;
+  int count = 0;
+};
+
+struct Pool {
+  Shelf shelves[kBucketCount];
+};
+
+// Leaked on purpose: payloads may still be released from detached rank
+// threads while static destructors run.
+Pool& pool() {
+  static Pool* p = new Pool;
+  return *p;
+}
+
+struct Counters {
+  trace::Counter& copied;
+  trace::Counter& hit;
+  trace::Counter& miss;
+};
+
+Counters& counters() {
+  static Counters c{trace::counter("rt.bytes_copied"),
+                    trace::counter("rt.pool.hit"),
+                    trace::counter("rt.pool.miss")};
+  return c;
+}
+
+}  // namespace
+
+void note_bytes_copied(std::size_t n) {
+  if (n > 0) counters().copied.add(static_cast<std::uint64_t>(n));
+}
+
+namespace detail {
+
+BufferBlock* pool_acquire(std::size_t n) {
+  const int bucket = bucket_for(n);
+  if (bucket >= 0) {
+    Shelf& shelf = pool().shelves[bucket];
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    if (shelf.head != nullptr) {
+      BufferBlock* b = shelf.head;
+      shelf.head = b->next;
+      --shelf.count;
+      b->next = nullptr;
+      b->refs.store(1, std::memory_order_relaxed);
+      b->size = n;
+      counters().hit.add(1);
+      return b;
+    }
+  }
+  counters().miss.add(1);
+  auto* b = new BufferBlock;
+  b->bucket = bucket;
+  b->size = n;
+  b->storage.resize(bucket >= 0 ? (std::size_t{1} << (kMinShift + bucket))
+                                : n);
+  return b;
+}
+
+BufferBlock* adopt_block(std::vector<std::byte> v) {
+  auto* b = new BufferBlock;
+  b->bucket = -1;
+  b->size = v.size();
+  b->storage = std::move(v);
+  return b;
+}
+
+void block_release(BufferBlock* b) {
+  if (b->bucket >= 0) {
+    Shelf& shelf = pool().shelves[b->bucket];
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    if (shelf.count < kMaxFreePerBucket) {
+      b->next = shelf.head;
+      shelf.head = b;
+      ++shelf.count;
+      return;
+    }
+  }
+  delete b;
+}
+
+}  // namespace detail
+
+BufferPoolStats buffer_pool_stats() {
+  BufferPoolStats s;
+  s.hits = counters().hit.value();
+  s.misses = counters().miss.value();
+  for (auto& shelf : pool().shelves) {
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    s.free_blocks += shelf.count;
+  }
+  return s;
+}
+
+void buffer_pool_trim() {
+  for (auto& shelf : pool().shelves) {
+    std::lock_guard<std::mutex> lock(shelf.mu);
+    while (shelf.head != nullptr) {
+      detail::BufferBlock* b = shelf.head;
+      shelf.head = b->next;
+      --shelf.count;
+      delete b;
+    }
+  }
+}
+
+}  // namespace mxn::rt

@@ -46,7 +46,7 @@ void Communicator::check_user_tag(int tag) const {
                      "reserved for collectives)");
 }
 
-void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
+void Communicator::raw_send(int dst, int tag, Buffer data) {
   check_dst(dst);
   st_->messages.fetch_add(1, std::memory_order_relaxed);
   st_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
@@ -59,6 +59,7 @@ void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
       case FaultAction::Drop:
         return;  // the sender believes the send completed; nothing arrives
       case FaultAction::Duplicate:
+        // The duplicate shares the payload block (refcount bump, no copy).
         st_->boxes[dst]->put(Message{rank_, tag, data});
         break;
       case FaultAction::Reorder:
@@ -75,14 +76,14 @@ void Communicator::raw_send(int dst, int tag, std::vector<std::byte> data) {
   st_->boxes[dst]->put(Message{rank_, tag, std::move(data)});
 }
 
-void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
-  check_user_tag(tag);
-  raw_send(dst, tag, std::vector<std::byte>(data.begin(), data.end()));
-}
-
-void Communicator::send(int dst, int tag, std::vector<std::byte> data) {
+void Communicator::send(int dst, int tag, Buffer data) {
   check_user_tag(tag);
   raw_send(dst, tag, std::move(data));
+}
+
+void Communicator::send(int dst, int tag, std::span<const std::byte> data) {
+  check_user_tag(tag);
+  raw_send(dst, tag, Buffer::copy_of(data));
 }
 
 Message Communicator::recv(int src, int tag, int timeout_ms) {
@@ -97,7 +98,13 @@ Message Communicator::recv_matching(
     int timeout_ms) {
   if (src != kAnySource && (src < 0 || src >= size()))
     throw UsageError("recv_matching: source rank out of range");
+  trace::Span span("rt.recv", "rt");
   return my_box().get_if(src, tag, pred, timeout_ms);
+}
+
+Request Communicator::isend(int dst, int tag, Buffer data) {
+  send(dst, tag, std::move(data));
+  return Request::completed_send();
 }
 
 Request Communicator::isend(int dst, int tag, std::span<const std::byte> data) {
@@ -129,62 +136,62 @@ void Communicator::barrier() {
   }
 }
 
-std::vector<std::byte> Communicator::bcast(std::vector<std::byte> data,
-                                           int root) {
+Buffer Communicator::bcast(Buffer data, int root) {
   const int n = size();
   if (n == 1) return data;
   trace::Span span("rt.bcast", "rt", data.size());
   if (rank_ == root) {
+    // Every destination mailbox holds a reference to the SAME block: a
+    // bcast performs zero deep copies no matter how wide the fan-out.
     for (int i = 0; i < n; ++i)
       if (i != root) raw_send(i, kTagBcast, data);
     return data;
   }
-  return my_box().get(root, kTagBcast).payload;
+  Message m = my_box().get(root, kTagBcast);
+  return std::move(m.payload);
 }
 
-std::vector<std::vector<std::byte>> Communicator::gather(
-    std::span<const std::byte> data, int root) {
+std::vector<Buffer> Communicator::gather(Buffer data, int root) {
   trace::Span span("rt.gather", "rt", data.size());
   const int n = size();
-  std::vector<std::vector<std::byte>> out;
+  std::vector<Buffer> out;
   if (rank_ == root) {
     out.resize(n);
-    out[root].assign(data.begin(), data.end());
+    out[root] = std::move(data);
     for (int i = 0; i < n - 1; ++i) {
       Message m = my_box().get(kAnySource, kTagGather);
       out[m.src] = std::move(m.payload);
     }
   } else {
-    raw_send(root, kTagGather,
-             std::vector<std::byte>(data.begin(), data.end()));
+    raw_send(root, kTagGather, std::move(data));
   }
   return out;
 }
 
-std::vector<std::vector<std::byte>> Communicator::allgather(
-    std::span<const std::byte> data) {
+std::vector<Buffer> Communicator::allgather(Buffer data) {
   trace::Span span("rt.allgather", "rt", data.size());
-  auto parts = gather(data, 0);
-  // Broadcast the concatenation with a simple length-prefixed framing.
+  auto parts = gather(std::move(data), 0);
+  // Broadcast the concatenation with a simple length-prefixed framing; the
+  // concatenated block itself is then shared by reference across ranks.
   PackBuffer b;
   if (rank_ == 0) {
-    for (auto& p : parts) b.pack(p);
+    for (auto& p : parts) b.pack_span(std::span<const std::byte>(p.span()));
   }
-  auto bytes = bcast(std::move(b).take(), 0);
+  auto bytes = bcast(std::move(b).take_buffer(), 0);
   UnpackBuffer u(bytes);
-  std::vector<std::vector<std::byte>> out(size());
-  for (int i = 0; i < size(); ++i) out[i] = u.unpack_vector<std::byte>();
+  std::vector<Buffer> out(size());
+  for (int i = 0; i < size(); ++i)
+    out[i] = Buffer(u.unpack_vector<std::byte>());
   return out;
 }
 
-std::vector<std::vector<std::byte>> Communicator::alltoall(
-    const std::vector<std::vector<std::byte>>& outgoing) {
+std::vector<Buffer> Communicator::alltoall(std::vector<Buffer> outgoing) {
   const int n = size();
   if (static_cast<int>(outgoing.size()) != n)
     throw UsageError("alltoall: outgoing must have one entry per rank");
   trace::Span span("rt.alltoall", "rt", static_cast<std::uint64_t>(n));
-  for (int i = 0; i < n; ++i) raw_send(i, kTagAlltoall, outgoing[i]);
-  std::vector<std::vector<std::byte>> incoming(n);
+  for (int i = 0; i < n; ++i) raw_send(i, kTagAlltoall, std::move(outgoing[i]));
+  std::vector<Buffer> incoming(n);
   for (int i = 0; i < n; ++i) {
     Message m = my_box().get(kAnySource, kTagAlltoall);
     incoming[m.src] = std::move(m.payload);

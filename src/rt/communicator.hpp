@@ -82,8 +82,16 @@ class Communicator {
   [[nodiscard]] Universe* universe() const { return st_->uni; }
 
   // --- point-to-point -------------------------------------------------------
+  /// Move-through send: the payload block is handed to the destination
+  /// mailbox without copying a byte. This is the primitive; the span/vector
+  /// overloads below exist for callers that do not own a Buffer yet.
+  void send(int dst, int tag, Buffer data);
+  /// Copies the span into a pooled buffer (counted in rt.bytes_copied).
   void send(int dst, int tag, std::span<const std::byte> data);
-  void send(int dst, int tag, std::vector<std::byte> data);
+  /// Adopts the vector's storage (zero copy).
+  void send(int dst, int tag, std::vector<std::byte> data) {
+    send(dst, tag, Buffer(std::move(data)));
+  }
 
   template <class T>
     requires std::is_trivially_copyable_v<T>
@@ -103,6 +111,9 @@ class Communicator {
   /// throws TimeoutError when no match arrived in time.
   Message recv(int src, int tag, int timeout_ms = -1);
 
+  /// Receive into a fresh typed vector. This is necessarily one deep copy
+  /// (counted in rt.bytes_copied); callers on the hot path should recv() and
+  /// alias the payload via Buffer::view<T>() instead.
   template <class T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> recv_vector(int src, int tag, int* actual_src = nullptr) {
@@ -112,6 +123,7 @@ class Communicator {
       throw UsageError("recv_vector: payload size not a multiple of sizeof(T)");
     std::vector<T> out(m.payload.size() / sizeof(T));
     std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    note_bytes_copied(m.payload.size());
     return out;
   }
 
@@ -124,6 +136,7 @@ class Communicator {
     return u.unpack<T>();
   }
 
+  Request isend(int dst, int tag, Buffer data);
   Request isend(int dst, int tag, std::span<const std::byte> data);
   Request irecv(int src, int tag);
 
@@ -142,14 +155,15 @@ class Communicator {
   // --- collectives ----------------------------------------------------------
   void barrier();
 
-  /// Root's payload is returned on every rank.
-  std::vector<std::byte> bcast(std::vector<std::byte> data, int root);
+  /// Root's payload is returned on every rank. All destinations share ONE
+  /// refcounted payload block — a bcast is O(1) deep copies regardless of
+  /// the communicator size.
+  Buffer bcast(Buffer data, int root);
 
   template <class T>
     requires std::is_trivially_copyable_v<T>
   T bcast_value(const T& value, int root) {
-    auto bytes = bcast(rank() == root ? to_bytes(value)
-                                      : std::vector<std::byte>{},
+    auto bytes = bcast(rank() == root ? Buffer(to_bytes(value)) : Buffer{},
                        root);
     UnpackBuffer u(bytes);
     return u.unpack<T>();
@@ -160,17 +174,16 @@ class Communicator {
   std::vector<T> bcast_vector(std::vector<T> values, int root) {
     PackBuffer b;
     if (rank() == root) b.pack(values);
-    auto bytes = bcast(std::move(b).take(), root);
+    auto bytes = bcast(std::move(b).take_buffer(), root);
     UnpackBuffer u(bytes);
     return u.unpack_vector<T>();
   }
 
   /// Gather per-rank payloads at root. On root the result has size() entries
   /// (index == source rank); on other ranks it is empty.
-  std::vector<std::vector<std::byte>> gather(std::span<const std::byte> data,
-                                             int root);
+  std::vector<Buffer> gather(Buffer data, int root);
 
-  std::vector<std::vector<std::byte>> allgather(std::span<const std::byte> data);
+  std::vector<Buffer> allgather(Buffer data);
 
   template <class T>
     requires std::is_trivially_copyable_v<T>
@@ -187,8 +200,9 @@ class Communicator {
 
   /// Personalized all-to-all: outgoing[i] goes to rank i; the result's entry
   /// j is what rank j sent to us. Naturally "v" — entries may differ in size.
-  std::vector<std::vector<std::byte>> alltoall(
-      const std::vector<std::vector<std::byte>>& outgoing);
+  /// Outgoing buffers are moved (or refcount-shared if the caller keeps a
+  /// handle), never deep-copied.
+  std::vector<Buffer> alltoall(std::vector<Buffer> outgoing);
 
   template <class T, class BinaryOp>
     requires std::is_trivially_copyable_v<T>
@@ -222,7 +236,7 @@ class Communicator {
  private:
   void check_dst(int dst) const;
   void check_user_tag(int tag) const;
-  void raw_send(int dst, int tag, std::vector<std::byte> data);
+  void raw_send(int dst, int tag, Buffer data);
   Mailbox& my_box() const { return *st_->boxes[rank_]; }
 
   std::shared_ptr<detail::CommState> st_;

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
+
+#include "rt/buffer.hpp"
 
 namespace mxn::rt {
 
@@ -10,13 +11,16 @@ inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
 /// A message in flight: sender rank (within the communicator it was sent
-/// on), tag, and an owned payload. Payloads are copied at send time — the
-/// threads of a spawn model separate address spaces, exactly like MPI ranks
-/// on one node, so no sharing of live buffers is permitted.
+/// on), tag, and a refcounted payload. The threads of a spawn model separate
+/// address spaces, exactly like MPI ranks on one node — but ownership of an
+/// immutable payload block can still be TRANSFERRED (move) or SHARED
+/// (refcount bump, e.g. one bcast block fanned to N mailboxes) without
+/// copying a byte, because nobody mutates a payload after it is sent
+/// (Buffer::mutable_data enforces sole ownership for writes).
 struct Message {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Buffer payload;
 };
 
 }  // namespace mxn::rt

@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "rt/buffer.hpp"
 #include "rt/error.hpp"
 
 namespace mxn::rt {
@@ -39,6 +40,7 @@ class PackBuffer {
     pack(static_cast<std::uint64_t>(values.size()));
     const auto* p = reinterpret_cast<const std::byte*>(values.data());
     data_.insert(data_.end(), p, p + values.size_bytes());
+    note_bytes_copied(values.size_bytes());
   }
 
   template <class T>
@@ -55,9 +57,25 @@ class PackBuffer {
   /// Raw bytes without a length prefix (caller knows the framing).
   void pack_raw(std::span<const std::byte> bytes) {
     data_.insert(data_.end(), bytes.begin(), bytes.end());
+    note_bytes_copied(bytes.size());
+  }
+
+  /// Extend by `n` uninitialized bytes and return a pointer to them, so a
+  /// producer can pack strided data straight into the payload instead of
+  /// staging it in a temporary and pack_raw-ing it (one copy, not two).
+  /// The pointer is invalidated by the next pack call.
+  [[nodiscard]] std::byte* append_uninitialized(std::size_t n) {
+    const std::size_t at = data_.size();
+    data_.resize(at + n);
+    return data_.data() + at;
   }
 
   [[nodiscard]] std::vector<std::byte> take() && { return std::move(data_); }
+
+  /// Hand the marshalled bytes to the data plane without copying: the
+  /// vector's storage is adopted by a refcounted Buffer, ready to be moved
+  /// into send() or fanned out to several destinations.
+  [[nodiscard]] Buffer take_buffer() && { return Buffer(std::move(data_)); }
   [[nodiscard]] const std::vector<std::byte>& bytes() const { return data_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
@@ -96,6 +114,7 @@ class UnpackBuffer {
     std::vector<T> values(n);
     std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
+    note_bytes_copied(n * sizeof(T));
     return values;
   }
 

@@ -1,19 +1,157 @@
 #pragma once
 
+#include <cstdint>
 #include <cstring>
+#include <deque>
+#include <map>
 
 #include "dad/dist_array.hpp"
+#include "rt/buffer.hpp"
 #include "sched/coupling.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
 
 namespace mxn::sched {
 
+namespace detail {
+
+/// Drain one message per schedule entry in ARRIVAL order: a tag-matched
+/// any-source receive delivers whichever peer's payload is ready first, so a
+/// slow peer never head-of-line-blocks the unpacking of a fast one.
+///
+/// The predicate admits a message only while its sender still owes this
+/// transfer a payload. That guard matters for back-to-back transfers on the
+/// same tag: a fast peer's message for transfer k+1 may already be queued
+/// while transfer k is draining, and a bare any-source receive would consume
+/// it. Per-(src, tag) FIFO among matches keeps each peer's stream in order,
+/// so the combination is exactly as safe as the old fixed-order drain.
+///
+/// `deliver(i, msg)` is invoked once per entry, i being the index into
+/// `recvs` of the entry whose payload arrived.
+template <class Entry, class Deliver>
+void drain_arrival_order(rt::Communicator& channel,
+                         const std::vector<int>& src_ranks,
+                         const std::vector<Entry>& recvs, int tag,
+                         int timeout_ms, Deliver&& deliver) {
+  if (recvs.empty()) return;
+  // Channel rank of the expected sender -> indices of its entries, oldest
+  // first (schedules normally hold one entry per peer; a deque keeps us
+  // correct if a caller ever splits a peer across entries).
+  std::map<int, std::deque<std::size_t>> owed;
+  for (std::size_t i = 0; i < recvs.size(); ++i)
+    owed[src_ranks.at(recvs[i].peer)].push_back(i);
+  const auto matches = [&owed](const rt::Message& m) {
+    const auto it = owed.find(m.src);
+    return it != owed.end() && !it->second.empty();
+  };
+  for (std::size_t k = 0; k < recvs.size(); ++k) {
+    rt::Message msg =
+        channel.recv_matching(rt::kAnySource, tag, matches, timeout_ms);
+    auto& queue = owed.at(msg.src);
+    const std::size_t i = queue.front();
+    queue.pop_front();
+    deliver(i, std::move(msg));
+  }
+}
+
+/// Alias `bytes` as a T array when alignment permits; otherwise fall back to
+/// one counted copy into `fallback`. Pool and vector storage come from
+/// operator new (aligned to 16), so the fallback only triggers for exotic T
+/// or offset sub-spans.
+template <class T>
+const T* aligned_or_copy(std::span<const std::byte> bytes,
+                         std::vector<T>& fallback) {
+  if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(T) == 0)
+    return reinterpret_cast<const T*>(bytes.data());
+  fallback.resize(bytes.size() / sizeof(T));
+  std::memcpy(fallback.data(), bytes.data(), bytes.size());
+  rt::note_bytes_copied(bytes.size());
+  return fallback.data();
+}
+
+/// Walk the runs shared by `segs` and the local footprint `prov`, invoking
+/// `fn(storage_start, storage_stride, buf_index, count)` per contiguous run.
+/// Factored out so pack and unpack share one coverage-checking walk.
+template <class Fn>
+void for_each_segment_run(const std::vector<linear::ProvenancedSegment>& prov,
+                          const std::vector<linear::Segment>& segs, Fn&& fn) {
+  std::size_t pi = 0;
+  Index k = 0;
+  for (const auto& seg : segs) {
+    while (pi < prov.size() && prov[pi].seg.hi <= seg.lo) ++pi;
+    std::size_t pj = pi;
+    Index lo = seg.lo;
+    while (lo < seg.hi) {
+      if (pj >= prov.size() || prov[pj].seg.lo > lo)
+        throw rt::UsageError("segment not covered by local footprint");
+      const auto& p = prov[pj];
+      const Index n = std::min(seg.hi, p.seg.hi) - lo;
+      const Index s0 = p.storage_offset + (lo - p.seg.lo) * p.storage_stride;
+      fn(s0, p.storage_stride, k, n);
+      lo += n;
+      k += n;
+      if (lo >= p.seg.hi) ++pj;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Pack the elements of `segs` (ascending, each covered by the footprint in
+/// `prov`) from local storage into a linear-ordered buffer.
+template <class T>
+void pack_segments(const std::vector<linear::ProvenancedSegment>& prov,
+                   const std::vector<linear::Segment>& segs, const T* local,
+                   T* buf) {
+  detail::for_each_segment_run(
+      prov, segs, [&](Index s0, Index stride, Index k, Index n) {
+        if (stride == 1)
+          std::memcpy(buf + k, local + s0,
+                      static_cast<std::size_t>(n) * sizeof(T));
+        else
+          for (Index i = 0; i < n; ++i) buf[k + i] = local[s0 + i * stride];
+      });
+}
+
+/// Mirror image of pack_segments: scatter a linear-ordered buffer back into
+/// local storage.
+template <class T>
+void unpack_segments(const std::vector<linear::ProvenancedSegment>& prov,
+                     const std::vector<linear::Segment>& segs, T* local,
+                     const T* buf) {
+  detail::for_each_segment_run(
+      prov, segs, [&](Index s0, Index stride, Index k, Index n) {
+        if (stride == 1)
+          std::memcpy(local + s0, buf + k,
+                      static_cast<std::size_t>(n) * sizeof(T));
+        else
+          for (Index i = 0; i < n; ++i) local[s0 + i * stride] = buf[k + i];
+      });
+}
+
+/// Compatibility wrapper over pack_segments / unpack_segments.
+template <class T>
+void copy_segments(const std::vector<linear::ProvenancedSegment>& prov,
+                   const std::vector<linear::Segment>& segs, T* local,
+                   T* buf, bool pack) {
+  if (pack)
+    pack_segments<T>(prov, segs, local, buf);
+  else
+    unpack_segments<T>(prov, segs, local, buf);
+}
+
 /// Execute a region schedule: this process performs exactly its own sends
 /// and matched receives — independent asynchronous point-to-point transfers
 /// with no synchronization barrier on either side (the dataReady() model of
 /// the CCA M×N component, paper §4.1). Sends are eager, so issuing all
 /// sends before draining receives cannot deadlock.
+///
+/// Zero-copy data plane (docs/PERFORMANCE.md): each peer's regions are
+/// packed once, straight into a pooled rt::Buffer that is then MOVED through
+/// the runtime; the receive side injects directly out of the arrived payload
+/// block, and payloads are drained in arrival order rather than schedule
+/// order. Per element transferred this costs exactly one copy (the pack) —
+/// the inject into the destination array is the delivery itself.
 ///
 /// `src_arr` may be null when this process is not in the source cohort, and
 /// `dst_arr` null when not in the destination cohort.
@@ -32,75 +170,45 @@ void execute(const RegionSchedule& sched, const dad::DistArray<T>* src_arr,
   rt::Communicator channel = c.channel;  // local handle
 
   for (const auto& pr : sched.sends) {
-    std::vector<T> buf(static_cast<std::size_t>(pr.elements));
+    const std::size_t bytes =
+        static_cast<std::size_t>(pr.elements) * sizeof(T);
+    rt::Buffer buf = rt::Buffer::allocate(bytes);
+    T* out = reinterpret_cast<T*>(buf.mutable_data());
     Index off = 0;
     for (const auto& region : pr.regions) {
-      src_arr->extract(region, buf.data() + off);
+      src_arr->extract(region, out + off);
       off += region.volume();
     }
-    channel.send_span<T>(c.dst_ranks.at(pr.peer), tag,
-                         std::span<const T>(buf));
+    rt::note_bytes_copied(bytes);
+    channel.isend(c.dst_ranks.at(pr.peer), tag, std::move(buf));
   }
 
-  for (const auto& pr : sched.recvs) {
-    auto msg = channel.recv(c.src_ranks.at(pr.peer), tag);
-    if (msg.payload.size() !=
-        static_cast<std::size_t>(pr.elements) * sizeof(T))
-      throw rt::UsageError("redistribution payload size mismatch");
-    const T* data = reinterpret_cast<const T*>(msg.payload.data());
-    Index off = 0;
-    for (const auto& region : pr.regions) {
-      dst_arr->inject(region, data + off);
-      off += region.volume();
-    }
-  }
-}
-
-/// Copy the elements of `segs` (ascending, each covered by the footprint in
-/// `prov`) between local storage and a linear-ordered buffer. pack=true
-/// reads local -> buf; pack=false writes buf -> local.
-template <class T>
-void copy_segments(const std::vector<linear::ProvenancedSegment>& prov,
-                   const std::vector<linear::Segment>& segs, T* local,
-                   T* buf, bool pack) {
-  std::size_t pi = 0;
-  Index k = 0;
-  for (const auto& seg : segs) {
-    while (pi < prov.size() && prov[pi].seg.hi <= seg.lo) ++pi;
-    std::size_t pj = pi;
-    Index lo = seg.lo;
-    while (lo < seg.hi) {
-      if (pj >= prov.size() || prov[pj].seg.lo > lo)
-        throw rt::UsageError("segment not covered by local footprint");
-      const auto& p = prov[pj];
-      const Index n = std::min(seg.hi, p.seg.hi) - lo;
-      const Index s0 = p.storage_offset + (lo - p.seg.lo) * p.storage_stride;
-      if (p.storage_stride == 1) {
-        if (pack)
-          std::memcpy(buf + k, local + s0,
-                      static_cast<std::size_t>(n) * sizeof(T));
-        else
-          std::memcpy(local + s0, buf + k,
-                      static_cast<std::size_t>(n) * sizeof(T));
-      } else {
-        for (Index i = 0; i < n; ++i) {
-          if (pack)
-            buf[k + i] = local[s0 + i * p.storage_stride];
-          else
-            local[s0 + i * p.storage_stride] = buf[k + i];
+  detail::drain_arrival_order(
+      channel, c.src_ranks, sched.recvs, tag, c.recv_timeout_ms,
+      [&](std::size_t i, rt::Message msg) {
+        const auto& pr = sched.recvs[i];
+        if (msg.payload.size() !=
+            static_cast<std::size_t>(pr.elements) * sizeof(T))
+          throw rt::UsageError("redistribution payload size mismatch");
+        std::vector<T> fallback;
+        const T* data = detail::aligned_or_copy<T>(msg.payload.span(),
+                                                   fallback);
+        Index off = 0;
+        for (const auto& region : pr.regions) {
+          dst_arr->inject(region, data + off);
+          off += region.volume();
         }
-      }
-      lo += n;
-      k += n;
-      if (lo >= p.seg.hi) ++pj;
-    }
-  }
+      });
 }
 
 /// Execute a segment schedule. `src_prov`/`dst_prov` are the provenanced
 /// footprints of the local arrays under the source/destination
 /// linearizations (compute once with linear::footprint_with_provenance and
 /// reuse across transfers, like the schedule itself).
+///
+/// Same zero-copy discipline as the region overload: pack once into a pooled
+/// buffer, move it through the runtime, unpack segments straight out of the
+/// received payload in arrival order.
 template <class T>
 void execute(const SegmentSchedule& sched, dad::DistArray<T>* src_arr,
              const std::vector<linear::ProvenancedSegment>* src_prov,
@@ -114,23 +222,27 @@ void execute(const SegmentSchedule& sched, dad::DistArray<T>* src_arr,
   rt::Communicator channel = c.channel;
 
   for (const auto& ps : sched.sends) {
-    std::vector<T> buf(static_cast<std::size_t>(ps.elements));
-    copy_segments<T>(*src_prov, ps.segs, src_arr->local().data(), buf.data(),
-                     /*pack=*/true);
-    channel.send_span<T>(c.dst_ranks.at(ps.peer), tag,
-                         std::span<const T>(buf));
+    const std::size_t bytes =
+        static_cast<std::size_t>(ps.elements) * sizeof(T);
+    rt::Buffer buf = rt::Buffer::allocate(bytes);
+    pack_segments<T>(*src_prov, ps.segs, src_arr->local().data(),
+                     reinterpret_cast<T*>(buf.mutable_data()));
+    rt::note_bytes_copied(bytes);
+    channel.isend(c.dst_ranks.at(ps.peer), tag, std::move(buf));
   }
 
-  for (const auto& ps : sched.recvs) {
-    auto msg = channel.recv(c.src_ranks.at(ps.peer), tag);
-    if (msg.payload.size() !=
-        static_cast<std::size_t>(ps.elements) * sizeof(T))
-      throw rt::UsageError("redistribution payload size mismatch");
-    std::vector<T> buf(static_cast<std::size_t>(ps.elements));
-    std::memcpy(buf.data(), msg.payload.data(), msg.payload.size());
-    copy_segments<T>(*dst_prov, ps.segs, dst_arr->local().data(), buf.data(),
-                     /*pack=*/false);
-  }
+  detail::drain_arrival_order(
+      channel, c.src_ranks, sched.recvs, tag, c.recv_timeout_ms,
+      [&](std::size_t i, rt::Message msg) {
+        const auto& ps = sched.recvs[i];
+        if (msg.payload.size() !=
+            static_cast<std::size_t>(ps.elements) * sizeof(T))
+          throw rt::UsageError("redistribution payload size mismatch");
+        std::vector<T> fallback;
+        const T* data = detail::aligned_or_copy<T>(msg.payload.span(),
+                                                   fallback);
+        unpack_segments<T>(*dst_prov, ps.segs, dst_arr->local().data(), data);
+      });
 }
 
 }  // namespace mxn::sched

@@ -40,7 +40,8 @@ void redistribute_receiver_driven(const dad::DistArray<T>* src_arr,
       b.pack(s.lo);
       b.pack(s.hi);
     }
-    const auto bytes = std::move(b).take();
+    // One refcounted block shared by every sender (no per-peer copy).
+    const rt::Buffer bytes = std::move(b).take_buffer();
     for (int s = 0; s < static_cast<int>(c.src_ranks.size()); ++s)
       channel.send(c.src_ranks[s], request_tag, bytes);
   }
@@ -65,7 +66,8 @@ void redistribute_receiver_driven(const dad::DistArray<T>* src_arr,
       }
       auto common = linear::intersect(mine, needs);
 
-      // Reply: segment list header followed by the elements in linear order.
+      // Reply: segment list header followed by the elements in linear order,
+      // packed straight into the payload (no staging vector).
       rt::PackBuffer reply;
       reply.pack(static_cast<std::uint64_t>(common.size()));
       Index elements = 0;
@@ -74,11 +76,19 @@ void redistribute_receiver_driven(const dad::DistArray<T>* src_arr,
         reply.pack(s.hi);
         elements += s.length();
       }
-      std::vector<T> buf(static_cast<std::size_t>(elements));
-      copy_segments<T>(prov, common,
-                       const_cast<T*>(src_arr->local().data()), buf.data(),
-                       /*pack=*/true);
-      reply.pack_raw(rt::as_bytes_span(std::span<const T>(buf)));
+      const std::size_t nbytes =
+          static_cast<std::size_t>(elements) * sizeof(T);
+      std::byte* out = reply.append_uninitialized(nbytes);
+      if (reinterpret_cast<std::uintptr_t>(out) % alignof(T) == 0) {
+        pack_segments<T>(prov, common, src_arr->local().data(),
+                         reinterpret_cast<T*>(out));
+        rt::note_bytes_copied(nbytes);
+      } else {
+        std::vector<T> buf(static_cast<std::size_t>(elements));
+        pack_segments<T>(prov, common, src_arr->local().data(), buf.data());
+        std::memcpy(out, buf.data(), nbytes);
+        rt::note_bytes_copied(2 * nbytes);
+      }
       channel.send(msg.src, data_tag, std::move(reply).take());
     }
   }
@@ -98,11 +108,11 @@ void redistribute_receiver_driven(const dad::DistArray<T>* src_arr,
         s.hi = u.unpack<Index>();
         elements += s.length();
       }
+      // Scatter straight out of the payload — no intermediate vector.
       auto raw = u.unpack_raw(static_cast<std::size_t>(elements) * sizeof(T));
-      std::vector<T> buf(static_cast<std::size_t>(elements));
-      std::memcpy(buf.data(), raw.data(), raw.size());
-      copy_segments<T>(prov, segs, dst_arr->local().data(), buf.data(),
-                       /*pack=*/false);
+      std::vector<T> fallback;
+      const T* data = detail::aligned_or_copy<T>(raw, fallback);
+      unpack_segments<T>(prov, segs, dst_arr->local().data(), data);
     }
   }
 }

@@ -1,0 +1,321 @@
+// Tests for the zero-copy data plane (docs/PERFORMANCE.md): the pooled
+// refcounted rt::Buffer (bucket reuse, adopt semantics, refcount release
+// across rank threads — the latter is what the TSan CI job watches),
+// O(1)-deep-copy shared-payload collectives, and arrival-order schedule
+// draining under seeded delay/reorder fault plans.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "rt/buffer.hpp"
+#include "rt/runtime.hpp"
+#include "sched/executor.hpp"
+#include "trace/trace.hpp"
+
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+namespace sched = mxn::sched;
+namespace trace = mxn::trace;
+using dad::AxisDist;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+std::uint64_t copied() { return trace::counter("rt.bytes_copied").value(); }
+std::uint64_t pool_hits() { return trace::counter("rt.pool.hit").value(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Buffer + pool mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Buffer, NullBufferIsEmpty) {
+  rt::Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.use_count(), 0);
+  EXPECT_FALSE(b.unique());
+}
+
+TEST(Buffer, AllocateIsUniqueAndWritable) {
+  auto b = rt::Buffer::allocate(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.unique());
+  std::memset(b.mutable_data(), 0x5a, b.size());
+  EXPECT_EQ(static_cast<unsigned char>(b.span()[99]), 0x5au);
+}
+
+TEST(Buffer, AdoptingAVectorPreservesItsStorage) {
+  std::vector<std::byte> v(1000, std::byte{7});
+  const std::byte* storage = v.data();
+  const auto before = copied();
+  rt::Buffer b(std::move(v));
+  EXPECT_EQ(b.data(), storage);  // zero copy: same heap block
+  EXPECT_EQ(copied(), before);   // and nothing counted
+  EXPECT_EQ(b.size(), 1000u);
+}
+
+TEST(Buffer, CopyOfCountsTheCopy) {
+  std::vector<std::byte> v(512, std::byte{3});
+  const auto before = copied();
+  auto b = rt::Buffer::copy_of(v);
+  EXPECT_EQ(copied(), before + 512);
+  EXPECT_NE(b.data(), v.data());
+  EXPECT_TRUE(std::memcmp(b.data(), v.data(), 512) == 0);
+}
+
+TEST(Buffer, RefcountSharingAndRelease) {
+  auto a = rt::Buffer::allocate(64);
+  rt::Buffer b = a;  // share
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_FALSE(a.unique());
+  EXPECT_THROW((void)a.mutable_data(), rt::UsageError);
+  b.reset();
+  EXPECT_TRUE(a.unique());
+  EXPECT_NO_THROW((void)a.mutable_data());
+}
+
+TEST(Buffer, PoolReusesBucketBlocks) {
+  rt::buffer_pool_trim();
+  const std::byte* first;
+  {
+    auto b = rt::Buffer::allocate(1000);  // 1 KiB bucket
+    first = b.data();
+  }  // released to the freelist
+  const auto hits_before = pool_hits();
+  auto b2 = rt::Buffer::allocate(900);  // same bucket, different size
+  EXPECT_EQ(b2.data(), first);          // the very block came back
+  EXPECT_EQ(b2.size(), 900u);
+  EXPECT_EQ(pool_hits(), hits_before + 1);
+}
+
+TEST(Buffer, FreelistIsCapped) {
+  rt::buffer_pool_trim();
+  std::vector<rt::Buffer> live;
+  for (int i = 0; i < 48; ++i) live.push_back(rt::Buffer::allocate(256));
+  live.clear();  // all released at once; cap is 32 per bucket
+  EXPECT_LE(rt::buffer_pool_stats().free_blocks, 32);
+}
+
+TEST(Buffer, OversizeAllocationsAreUnpooled) {
+  rt::buffer_pool_trim();
+  {
+    auto jumbo = rt::Buffer::allocate((std::size_t{1} << 24) + 1);
+    (void)jumbo;
+  }
+  EXPECT_EQ(rt::buffer_pool_stats().free_blocks, 0);  // not parked
+}
+
+TEST(Buffer, ViewChecksSizeAndTruncateRequiresSoleOwner) {
+  auto b = rt::Buffer::allocate(24);
+  EXPECT_EQ(b.view<double>().size(), 3u);
+  EXPECT_THROW((void)rt::Buffer::allocate(25).view<double>(), rt::UsageError);
+  b.truncate(16);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_THROW(b.truncate(17), rt::UsageError);
+  rt::Buffer shared = b;
+  (void)shared;
+  EXPECT_THROW(b.truncate(8), rt::UsageError);
+}
+
+TEST(Buffer, ToVectorIsACountedDeepCopy) {
+  auto b = rt::Buffer::allocate(128);
+  std::memset(b.mutable_data(), 0x11, 128);
+  const auto before = copied();
+  auto v = b.to_vector();
+  EXPECT_EQ(copied(), before + 128);
+  EXPECT_EQ(v.size(), 128u);
+  EXPECT_NE(reinterpret_cast<const std::byte*>(v.data()), b.data());
+}
+
+// Blocks allocated on one rank thread are routinely released on another
+// (receiver drops the payload) and then recycled by a third. TSan watches
+// the refcount release and freelist handoff here.
+TEST(Buffer, CrossThreadFreeAndRealloc) {
+  rt::spawn(4, [](rt::Communicator& comm) {
+    const int n = comm.size();
+    for (int round = 0; round < 50; ++round) {
+      auto b = rt::Buffer::allocate(4096);
+      auto* p = reinterpret_cast<int*>(b.mutable_data());
+      p[0] = comm.rank() * 1000 + round;
+      comm.send((comm.rank() + 1) % n, 5, std::move(b));
+      auto m = comm.recv((comm.rank() + n - 1) % n, 5);
+      ASSERT_EQ(m.payload.view<int>()[0],
+                ((comm.rank() + n - 1) % n) * 1000 + round);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Move-through messaging and shared-payload collectives
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopy, SendMovesTheBlockToTheReceiver) {
+  rt::spawn(2, [](rt::Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto b = rt::Buffer::allocate(256);
+      const std::byte* block = b.data();
+      std::memset(b.mutable_data(), 0x42, 256);
+      const auto before = copied();
+      comm.send(1, 3, std::move(b));
+      EXPECT_EQ(copied(), before);  // the send itself copied nothing
+      comm.send_value(1, 4, reinterpret_cast<std::uintptr_t>(block));
+    } else {
+      auto m = comm.recv(0, 3);
+      const auto block = comm.recv_value<std::uintptr_t>(0, 4);
+      // Same heap block end to end: producer's pack is the only copy ever.
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.payload.data()), block);
+      EXPECT_EQ(static_cast<unsigned char>(m.payload.span()[255]), 0x42u);
+    }
+  });
+}
+
+// A bcast of a >1 MiB payload to 7 destinations must perform ZERO deep
+// copies: every mailbox holds a reference to the root's block.
+TEST(ZeroCopy, BcastSharesOnePayloadAcrossDestinations) {
+  static constexpr std::size_t kBytes = 2 << 20;  // 2 MiB
+  const auto before = copied();
+  rt::spawn(8, [](rt::Communicator& comm) {
+    rt::Buffer payload;
+    if (comm.rank() == 0) {
+      payload = rt::Buffer::allocate(kBytes);
+      auto* p = reinterpret_cast<std::uint32_t*>(payload.mutable_data());
+      for (std::size_t i = 0; i < kBytes / 4; ++i)
+        p[i] = static_cast<std::uint32_t>(i);
+    }
+    auto got = comm.bcast(std::move(payload), 0);
+    ASSERT_EQ(got.size(), kBytes);
+    const auto words = got.view<std::uint32_t>();
+    EXPECT_EQ(words[1], 1u);
+    EXPECT_EQ(words[kBytes / 4 - 1], kBytes / 4 - 1);
+    comm.barrier();
+  });
+  EXPECT_EQ(copied(), before) << "bcast deep-copied a shared payload";
+}
+
+// alltoall(v) where one rank fans the SAME >1 MiB block to every peer:
+// O(1) deep copies (zero, in fact) regardless of the fan-out width.
+TEST(ZeroCopy, AlltoallSharedPayloadIsNotDeepCopied) {
+  static constexpr std::size_t kBytes = (1 << 20) + 512;  // > 1 MiB, odd size
+  const auto before = copied();
+  rt::spawn(4, [](rt::Communicator& comm) {
+    auto block = rt::Buffer::allocate(kBytes);
+    std::memset(block.mutable_data(), 0x80 + comm.rank(), kBytes);
+    // Every outgoing entry references the same block.
+    std::vector<rt::Buffer> out(comm.size(), block);
+    auto in = comm.alltoall(std::move(out));
+    for (int s = 0; s < comm.size(); ++s) {
+      ASSERT_EQ(in[s].size(), kBytes);
+      EXPECT_EQ(static_cast<unsigned char>(in[s].span()[kBytes - 1]),
+                0x80u + s);
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(copied(), before) << "alltoall deep-copied shared payloads";
+}
+
+// ---------------------------------------------------------------------------
+// Arrival-order schedule draining
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double tagged(const Point& p) { return 1000.0 * p[0] + p[1] + 0.25; }
+
+/// 8x3 redistribution where each source sleeps a rank-staggered amount so
+/// payloads arrive in an order unlike the schedule's peer order; the result
+/// must still be exact. `plan` optionally adds seeded chaos on top.
+void run_staggered_redistribution(std::optional<rt::FaultPlan> plan,
+                                  bool stagger) {
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(24, 8), AxisDist::block(12, 1)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(24, 1), AxisDist::block(12, 3)});
+  const int m = 8, n = 3;
+  rt::SpawnOptions opts;
+  opts.deadlock_timeout_ms = 20000;
+  opts.faults = plan;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank();
+    const int md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) {
+      a = std::make_unique<dad::DistArray<double>>(src, ms);
+      a->fill(tagged);
+      // Later schedule peers send FIRST: reverse-staggered sleeps.
+      if (stagger)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(5 * (m - ms)));
+    }
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+    sched::execute<double>(s, a.get(), b.get(), c, 7);
+    if (md >= 0)
+      b->for_each_owned([&](const Point& p, const double& v) {
+        ASSERT_DOUBLE_EQ(v, tagged(p)) << "at " << p[0] << "," << p[1];
+      });
+  }, opts);
+}
+
+}  // namespace
+
+TEST(ArrivalOrder, StaggeredSendersStillYieldExactResult) {
+  run_staggered_redistribution(std::nullopt, /*stagger=*/true);
+}
+
+TEST(ArrivalOrder, SeededDelayPlanStillYieldsExactResult) {
+  // Half the data messages delay their sender by 10 ms (deterministic in
+  // the seed), scrambling arrival order relative to schedule order.
+  run_staggered_redistribution(
+      rt::FaultPlan{.seed = 99, .delay = 0.5, .delay_ms = 10},
+      /*stagger=*/false);
+}
+
+TEST(ArrivalOrder, SeededReorderPlanStillYieldsExactResult) {
+  run_staggered_redistribution(
+      rt::FaultPlan{.seed = 1234, .reorder = 0.75}, /*stagger=*/false);
+}
+
+// Back-to-back transfers on the SAME tag: a fast peer's payload for
+// transfer k+1 queues while transfer k is still draining. The owed-peer
+// predicate must leave it queued for the next round — a bare any-source
+// receive would consume it and corrupt both transfers.
+TEST(ArrivalOrder, BackToBackTransfersOnOneTagStayAligned) {
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::block(40, 4)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::block(40, 2)});
+  const int m = 4, n = 2;
+  rt::spawn(m + n, [&](rt::Communicator& world) {
+    auto c = sched::split_coupling(world, m, n);
+    const int ms = c.my_src_rank();
+    const int md = c.my_dst_rank();
+    std::unique_ptr<dad::DistArray<double>> a, b;
+    if (ms >= 0) a = std::make_unique<dad::DistArray<double>>(src, ms);
+    if (md >= 0) b = std::make_unique<dad::DistArray<double>>(dst, md);
+    auto s = sched::build_region_schedule(*src, *dst, ms, md);
+    for (int round = 0; round < 6; ++round) {
+      if (ms >= 0) {
+        a->fill([&](const Point& p) { return 100.0 * round + p[0]; });
+        // Sources race ahead at wildly different speeds.
+        std::this_thread::sleep_for(std::chrono::milliseconds(3 * ms));
+      }
+      sched::execute<double>(s, a.get(), b.get(), c, 7);
+      if (md >= 0)
+        b->for_each_owned([&](const Point& p, const double& v) {
+          ASSERT_DOUBLE_EQ(v, 100.0 * round + p[0])
+              << "round " << round << " at " << p[0];
+        });
+    }
+  });
+}

@@ -240,14 +240,14 @@ TEST(RtCollectives, AllgatherGivesEveryoneEverything) {
 TEST(RtCollectives, AlltoallPersonalizedExchange) {
   rt::spawn(4, [](rt::Communicator& comm) {
     // Rank r sends value 10*r + dst to each dst; entry sizes differ by dst.
-    std::vector<std::vector<std::byte>> out(4);
+    std::vector<rt::Buffer> out(4);
     for (int dst = 0; dst < 4; ++dst) {
       rt::PackBuffer b;
       b.pack(10 * comm.rank() + dst);
       for (int k = 0; k < dst; ++k) b.pack(0);  // variable size
-      out[dst] = std::move(b).take();
+      out[dst] = std::move(b).take_buffer();
     }
-    auto in = comm.alltoall(out);
+    auto in = comm.alltoall(std::move(out));
     ASSERT_EQ(in.size(), 4u);
     for (int src = 0; src < 4; ++src) {
       rt::UnpackBuffer u(in[src]);
