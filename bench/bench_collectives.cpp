@@ -1,0 +1,220 @@
+// Flat-vs-tree cost of the collective hot path (scalar allreduce — the op
+// every PRMI collective invocation, MCT global sum and DCA reduction funnels
+// through), at n = 4 / 8 / 16 / 32 ranks. Three arms:
+//
+//   flat    direct exchange: every rank sends its scalar to every peer and
+//           folds locally — one round, n(n-1) messages. The latency
+//           baseline a tree must beat on message count AND wall clock.
+//   rooted  the seed's implementation, reconstructed: gather-to-0 of the
+//           scalars, concatenated flat bcast, serial fold on every rank —
+//           2(n-1) messages but 2(n-1) serialized operations at rank 0.
+//   tree    the current recursive-doubling allreduce — ceil(log2 n) rounds,
+//           n*log2 n messages, no rank serializing more than log2 n
+//           operations.
+//
+// Message counts are deterministic (counted, not timed) and asserted
+// exactly; latency is a median over timed repetitions. Emits
+// BENCH_collectives.json for the CI bench-smoke, which asserts the
+// tree-vs-flat message-count win at n = 16.
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rt/runtime.hpp"
+
+namespace rt = mxn::rt;
+
+namespace {
+
+/// Sense-reversing spin barrier over shared atomics: rendezvous for the
+/// measurement windows WITHOUT touching the communicator's own message
+/// counters (a comm.barrier() would pollute the deltas it brackets).
+class SpinGate {
+ public:
+  explicit SpinGate(int n) : n_(n) {}
+  void arrive_and_wait() {
+    const int gen = gen_.load();
+    if (arrived_.fetch_add(1) + 1 == n_) {
+      arrived_.store(0);
+      gen_.fetch_add(1);
+    } else {
+      while (gen_.load() == gen) std::this_thread::yield();
+    }
+  }
+
+ private:
+  int n_;
+  std::atomic<int> arrived_{0};
+  std::atomic<int> gen_{0};
+};
+
+// --- the three arms --------------------------------------------------------
+
+double flat_allreduce(rt::Communicator& c, double v) {
+  const int n = c.size();
+  const int me = c.rank();
+  for (int d = 0; d < n; ++d)
+    if (d != me) c.send_value(d, 1, v);
+  double acc = v;
+  for (int s = 0; s < n; ++s)
+    if (s != me) acc += c.recv_value<double>(s, 1);
+  return acc;
+}
+
+double rooted_allreduce(rt::Communicator& c, double v) {
+  const int n = c.size();
+  std::vector<double> all(static_cast<std::size_t>(n));
+  if (c.rank() == 0) {
+    all[0] = v;
+    for (int i = 1; i < n; ++i) {
+      int src = -1;
+      const double got = c.recv_value<double>(rt::kAnySource, 2, &src);
+      all[static_cast<std::size_t>(src)] = got;
+    }
+    for (int d = 1; d < n; ++d) c.send_span<double>(d, 3, all);
+  } else {
+    c.send_value(0, 2, v);
+    all = c.recv_vector<double>(0, 3);
+  }
+  double acc = 0;
+  for (double x : all) acc += x;
+  return acc;
+}
+
+double tree_allreduce(rt::Communicator& c, double v) {
+  return c.allreduce(v, [](double a, double b) { return a + b; });
+}
+
+// --- measurement harness ---------------------------------------------------
+
+struct ArmResult {
+  std::uint64_t msgs_per_iter = 0;
+  double us_per_iter = 0;
+};
+
+ArmResult run_arm(
+    int n, const std::function<double(rt::Communicator&, double)>& one_iter) {
+  constexpr int kWarmup = 5;
+  constexpr int kIters = 60;
+  constexpr int kReps = 5;
+  SpinGate gate(n);
+  std::vector<double> rep_us(kReps);
+  std::uint64_t msgs = 0;
+  rt::spawn(n, [&](rt::Communicator& comm) {
+    const double mine = comm.rank() + 1;
+    const double want = n * (n + 1) / 2.0;
+    for (int w = 0; w < kWarmup; ++w)
+      if (one_iter(comm, mine) != want)
+        throw std::logic_error("collective produced a wrong sum");
+    rt::StatsSnapshot before{};
+    for (int rep = 0; rep < kReps; ++rep) {
+      // Quiesce, snapshot with nobody in flight, release, run, re-quiesce:
+      // every send of the measured window — and only those — lands between
+      // rank 0's two snapshots.
+      gate.arrive_and_wait();
+      if (comm.rank() == 0 && rep == 0) before = comm.stats();
+      gate.arrive_and_wait();
+      const double t0 = bench::now_s();
+      for (int i = 0; i < kIters; ++i)
+        if (one_iter(comm, mine) != want)
+          throw std::logic_error("collective produced a wrong sum");
+      gate.arrive_and_wait();
+      if (comm.rank() == 0) {
+        rep_us[static_cast<std::size_t>(rep)] =
+            (bench::now_s() - t0) / kIters * 1e6;
+        if (rep == 0) {
+          const auto delta = (comm.stats() - before).messages;
+          if (delta % kIters != 0)
+            throw std::logic_error("message count not iteration-periodic");
+          msgs = delta / kIters;
+        }
+      }
+    }
+  });
+  std::sort(rep_us.begin(), rep_us.end());
+  return {msgs, rep_us[kReps / 2]};
+}
+
+void expect_count(const char* arm, int n, std::uint64_t got,
+                  std::uint64_t want) {
+  if (got != want) {
+    std::fprintf(stderr,
+                 "FATAL: %s allreduce at n=%d counted %llu messages/iter, "
+                 "expected %llu\n",
+                 arm, n, static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Collective cost: scalar allreduce, flat vs rooted vs tree\n");
+  std::printf("(messages are counted and asserted; latency is a median)\n\n");
+
+  const std::vector<int> sizes = {4, 8, 16, 32};
+  bench::Table t({"n", "flat_msgs", "rooted_msgs", "tree_msgs", "flat_us",
+                  "rooted_us", "tree_us"});
+  struct Case {
+    int n;
+    ArmResult flat, rooted, tree;
+  };
+  std::vector<Case> cases;
+
+  for (int n : sizes) {
+    Case c;
+    c.n = n;
+    c.flat = run_arm(n, flat_allreduce);
+    c.rooted = run_arm(n, rooted_allreduce);
+    c.tree = run_arm(n, tree_allreduce);
+
+    const auto un = static_cast<std::uint64_t>(n);
+    expect_count("flat", n, c.flat.msgs_per_iter, un * (un - 1));
+    expect_count("rooted", n, c.rooted.msgs_per_iter, 2 * (un - 1));
+    expect_count("tree", n, c.tree.msgs_per_iter,
+                 un * static_cast<std::uint64_t>(rt::ceil_log2(n)));
+
+    t.row({std::to_string(n), std::to_string(c.flat.msgs_per_iter),
+           std::to_string(c.rooted.msgs_per_iter),
+           std::to_string(c.tree.msgs_per_iter),
+           bench::fmt("%.1f", c.flat.us_per_iter),
+           bench::fmt("%.1f", c.rooted.us_per_iter),
+           bench::fmt("%.1f", c.tree.us_per_iter)});
+    cases.push_back(c);
+  }
+  t.print();
+  std::printf(
+      "\nShape check: tree sends n*log2(n) messages in log2(n) rounds — "
+      "fewer than flat's n*(n-1) everywhere, and unlike rooted's 2(n-1) no "
+      "rank serializes more than log2(n) matched operations.\n");
+
+  if (std::FILE* f = std::fopen("BENCH_collectives.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"collectives\",\n");
+    std::fprintf(f, "  \"op\": \"allreduce\",\n  \"cases\": [\n");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto& c = cases[i];
+      std::fprintf(
+          f,
+          "    {\"n\": %d,\n"
+          "     \"flat\": {\"messages\": %llu, \"latency_us\": %.3f},\n"
+          "     \"rooted\": {\"messages\": %llu, \"latency_us\": %.3f},\n"
+          "     \"tree\": {\"messages\": %llu, \"latency_us\": %.3f}}%s\n",
+          c.n, static_cast<unsigned long long>(c.flat.msgs_per_iter),
+          c.flat.us_per_iter,
+          static_cast<unsigned long long>(c.rooted.msgs_per_iter),
+          c.rooted.us_per_iter,
+          static_cast<unsigned long long>(c.tree.msgs_per_iter),
+          c.tree.us_per_iter, i + 1 < cases.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_collectives.json\n");
+  }
+  return 0;
+}

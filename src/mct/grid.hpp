@@ -39,13 +39,11 @@ class GeneralGrid {
   std::vector<int> mask_;
 };
 
-/// Masked, area-weighted spatial integral of one field over the component's
-/// whole grid (cohort-collective reduction). The paired use — computing the
-/// integral on the source grid before interpolation and on the destination
-/// grid after — is how MCT checks conservation of global flux integrals.
-[[nodiscard]] inline double spatial_integral(const AttrVect& av, int field,
-                                             const GeneralGrid& grid,
-                                             rt::Communicator cohort) {
+namespace detail {
+
+/// This rank's masked, area-weighted partial integral of one field.
+[[nodiscard]] inline double local_integral(const AttrVect& av, int field,
+                                           const GeneralGrid& grid) {
   if (av.length() != grid.length())
     throw rt::UsageError("AttrVect and grid lengths differ");
   double local = 0;
@@ -53,10 +51,25 @@ class GeneralGrid {
   auto w = grid.area();
   for (Index i = 0; i < av.length(); ++i)
     if (grid.mask()[static_cast<std::size_t>(i)] != 0) local += v[i] * w[i];
+  return local;
+}
+
+}  // namespace detail
+
+/// Masked, area-weighted spatial integral of one field over the component's
+/// whole grid (cohort-collective reduction). The paired use — computing the
+/// integral on the source grid before interpolation and on the destination
+/// grid after — is how MCT checks conservation of global flux integrals.
+[[nodiscard]] inline double spatial_integral(const AttrVect& av, int field,
+                                             const GeneralGrid& grid,
+                                             rt::Communicator cohort) {
+  const double local = detail::local_integral(av, field, grid);
   return cohort.allreduce(local, [](double a, double b) { return a + b; });
 }
 
-/// Masked, area-weighted spatial average.
+/// Masked, area-weighted spatial average. The integral and the total weight
+/// travel in ONE 2-element vector allreduce instead of two scalar rounds —
+/// the vector-reduction pattern the log-depth collectives exist for.
 [[nodiscard]] inline double spatial_average(const AttrVect& av, int field,
                                             const GeneralGrid& grid,
                                             rt::Communicator cohort) {
@@ -64,10 +77,11 @@ class GeneralGrid {
   auto w = grid.area();
   for (Index i = 0; i < grid.length(); ++i)
     if (grid.mask()[static_cast<std::size_t>(i)] != 0) local_w += w[i];
-  const double total_w =
-      cohort.allreduce(local_w, [](double a, double b) { return a + b; });
-  if (total_w == 0) throw rt::UsageError("grid has zero unmasked weight");
-  return spatial_integral(av, field, grid, cohort) / total_w;
+  const double sums[2] = {detail::local_integral(av, field, grid), local_w};
+  const auto total = cohort.allreduce(std::span<const double>(sums),
+                                      [](double a, double b) { return a + b; });
+  if (total[1] == 0) throw rt::UsageError("grid has zero unmasked weight");
+  return total[0] / total[1];
 }
 
 }  // namespace mxn::mct

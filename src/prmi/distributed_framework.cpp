@@ -662,10 +662,14 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
       if (!p.type.parallel && takes_input(p.mode))
         h = h * 31 + value_hash(args[i], p.type);
     }
-    const auto lo = cohort_.allreduce(
-        h, [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
-    const auto hi = cohort_.allreduce(
-        h, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    // One 2-element min-allreduce instead of a min round plus a max round:
+    // min(~h) == ~max(h), so {h, ~h} under min yields both extremes.
+    const std::uint64_t pair[2] = {h, ~h};
+    const auto mins = cohort_.allreduce(
+        std::span<const std::uint64_t>(pair),
+        [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+    const std::uint64_t lo = mins[0];
+    const std::uint64_t hi = ~mins[1];
     if (lo != hi)
       throw UsageError("simple arguments of '" + method_name +
                        "' differ across caller ranks");

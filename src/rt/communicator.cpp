@@ -8,17 +8,31 @@
 
 namespace mxn::rt {
 
-namespace {
-// Reserved (negative) tags for the collective implementations. Consecutive
-// collectives on the same communicator may reuse a tag: per-(src,tag) FIFO
-// delivery plus the MPI rule that all ranks issue collectives in the same
-// program order keeps them from interfering.
-constexpr int kTagBarrierUp = -2;
-constexpr int kTagBarrierDown = -3;
-constexpr int kTagBcast = -4;
-constexpr int kTagGather = -5;
-constexpr int kTagAlltoall = -6;
-}  // namespace
+// --- tag-reuse safety under the log-depth collectives -----------------------
+//
+// Every collective kind owns one reserved negative tag (communicator.hpp),
+// and consecutive collectives of the same kind on one communicator reuse it.
+// That stays safe under the tree/dissemination patterns for two reasons:
+//
+//  1. WITHIN one collective, each ordered pair (sender, receiver) uses a
+//     given tag at most once — binomial trees pair each node with a distinct
+//     parent/child per round, dissemination rounds use distinct offsets, and
+//     the non-power-of-two allreduce fold-in/fold-out pair exchange in
+//     opposite directions first-in then out (two messages on one (src,dst)
+//     pair, but the receive for the second is issued strictly after the
+//     first completed, so FIFO order is the program order).
+//     Recursive doubling's per-round partner exchange is two messages in
+//     opposite directions — again one per ordered pair.
+//  2. ACROSS consecutive collectives, the mailbox delivers per-(src, tag)
+//     FIFO and the MPI rule applies: all ranks issue collectives in the same
+//     program order. A receive posted by collective k for source s is
+//     therefore matched by s's k-th send on that tag — even if s has raced
+//     ahead into collective k+1 — because every tree/dissemination receive
+//     names its source explicitly. The one wildcard receiver left, alltoall,
+//     admits a message only while its sender still owes the CURRENT round a
+//     payload (same owed-peer argument as the schedule executors,
+//     docs/PERFORMANCE.md), so a fast peer's round-k+1 payload can never be
+//     consumed by round k.
 
 namespace detail {
 
@@ -33,9 +47,10 @@ CommState::CommState(Universe* u, std::vector<int> member_ids)
 
 }  // namespace detail
 
-void Communicator::check_dst(int dst) const {
+void Communicator::check_dst(int dst, const char* op) const {
   if (dst < 0 || dst >= size())
-    throw UsageError("send: destination rank " + std::to_string(dst) +
+    throw UsageError(std::string(op) + ": destination rank " +
+                     std::to_string(dst) +
                      " out of range for communicator of size " +
                      std::to_string(size()));
 }
@@ -46,12 +61,20 @@ void Communicator::check_user_tag(int tag) const {
                      "reserved for collectives)");
 }
 
-void Communicator::raw_send(int dst, int tag, Buffer data) {
-  check_dst(dst);
+void Communicator::raw_send(int dst, int tag, Buffer data, const char* op) {
+  check_dst(dst, op);
   st_->messages.fetch_add(1, std::memory_order_relaxed);
   st_->bytes.fetch_add(data.size(), std::memory_order_relaxed);
   st_->uni->count_message(data.size());
   trace::instant("rt.send", "rt", data.size());
+  if (dst == rank_) {
+    // Self-delivery is a local queue push; it cannot meaningfully be
+    // dropped, reordered or delayed, and injecting a Drop here (or ticking
+    // the kill clock between the send and the matching receive) would
+    // deadlock the rank waiting on its own message. Deliver directly.
+    st_->boxes[dst]->put(Message{rank_, tag, std::move(data)});
+    return;
+  }
   if (FaultInjector* f = st_->uni->faults()) {
     const int me = st_->members[rank_];  // universe rank of the sender
     f->on_op(me);                        // kill clock; may throw KilledError
@@ -123,65 +146,152 @@ std::optional<Message> Communicator::try_recv(int src, int tag) {
 }
 
 void Communicator::barrier() {
-  // Gather-to-root then broadcast-release: 2(n-1) messages.
+  // Dissemination barrier: in round k each rank signals (rank + 2^k) mod n
+  // and waits on (rank - 2^k) mod n. After ceil(log2 n) rounds every rank
+  // transitively heard from every other — n*ceil(log2 n) tiny messages, but
+  // no rank ever serializes more than ceil(log2 n) matched operations
+  // (the old gather-to-root + release made rank 0 do 2(n-1) of them).
   const int n = size();
   if (n == 1) return;
   trace::Span span("rt.barrier", "rt", static_cast<std::uint64_t>(n));
-  if (rank_ == 0) {
-    for (int i = 1; i < n; ++i) my_box().get(kAnySource, kTagBarrierUp);
-    for (int i = 1; i < n; ++i) raw_send(i, kTagBarrierDown, {});
-  } else {
-    raw_send(0, kTagBarrierUp, {});
-    my_box().get(0, kTagBarrierDown);
+  for (int k = 1; k < n; k <<= 1) {
+    raw_send((rank_ + k) % n, detail::kTagBarrier, {}, "barrier");
+    coll_recv((rank_ - k + n) % n, detail::kTagBarrier);
   }
 }
 
 Buffer Communicator::bcast(Buffer data, int root) {
   const int n = size();
+  check_dst(root, "bcast(root)");
   if (n == 1) return data;
   trace::Span span("rt.bcast", "rt", data.size());
-  if (rank_ == root) {
-    // Every destination mailbox holds a reference to the SAME block: a
-    // bcast performs zero deep copies no matter how wide the fan-out.
-    for (int i = 0; i < n; ++i)
-      if (i != root) raw_send(i, kTagBcast, data);
-    return data;
+  // Binomial tree on root-relative ("virtual") ranks: vrank 0 is the root;
+  // a node receives from the peer that differs in its lowest set bit, then
+  // forwards to vrank + mask for every mask below that bit. Still n-1
+  // messages, but depth ceil(log2 n) instead of the root pushing n-1 sends
+  // — and every hop forwards a reference to the SAME payload block, so a
+  // bcast performs zero deep copies no matter how wide or deep.
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      Message m =
+          coll_recv(((vrank - mask) + root) % n, detail::kTagBcast);
+      data = std::move(m.payload);
+      break;
+    }
+    mask <<= 1;
   }
-  Message m = my_box().get(root, kTagBcast);
-  return std::move(m.payload);
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n)
+      raw_send((vrank + mask + root) % n, detail::kTagBcast, data, "bcast");
+    mask >>= 1;
+  }
+  return data;
 }
+
+namespace {
+
+// Gather/allgather bundle framing: a flat sequence of
+// (int32 comm rank, uint64 payload size, raw payload bytes) entries.
+// Bundles concatenate by plain byte append, which is what lets an interior
+// tree node forward its whole subtree as one message.
+void pack_entry(PackBuffer& b, int rank, const Buffer& payload) {
+  b.pack(static_cast<std::int32_t>(rank));
+  b.pack(static_cast<std::uint64_t>(payload.size()));
+  b.pack_raw(payload.span());
+}
+
+// Unpack a bundle into the per-source slots of `out`. Entries become
+// pooled blocks of their own (one counted copy per entry — the price of
+// bundling; see the latency-vs-bytes note in docs/PERFORMANCE.md).
+void unpack_entries(std::span<const std::byte> bundle,
+                    std::vector<Buffer>& out) {
+  UnpackBuffer u(bundle);
+  while (!u.empty()) {
+    const int src = u.unpack<std::int32_t>();
+    const auto sz = u.unpack<std::uint64_t>();
+    if (src < 0 || src >= static_cast<int>(out.size()))
+      throw UsageError("gather: corrupt bundle entry");
+    out[src] = Buffer::copy_of(u.unpack_raw(sz));
+  }
+}
+
+}  // namespace
 
 std::vector<Buffer> Communicator::gather(Buffer data, int root) {
   trace::Span span("rt.gather", "rt", data.size());
   const int n = size();
+  check_dst(root, "gather(root)");
   std::vector<Buffer> out;
-  if (rank_ == root) {
-    out.resize(n);
-    out[root] = std::move(data);
-    for (int i = 0; i < n - 1; ++i) {
-      Message m = my_box().get(kAnySource, kTagGather);
-      out[m.src] = std::move(m.payload);
-    }
-  } else {
-    raw_send(root, kTagGather, std::move(data));
+  if (n == 1) {
+    out.resize(1);
+    out[0] = std::move(data);
+    return out;
   }
+  // Binomial tree toward the root (the bcast tree with arrows reversed):
+  // each node collects bundles from its subtree children, appends them to
+  // its own entry, and ships one message to its parent. n-1 messages, depth
+  // ceil(log2 n); the root performs ceil(log2 n) matched receives instead
+  // of n-1.
+  const int vrank = (rank_ - root + n) % n;
+  PackBuffer bundle;
+  std::vector<Message> children;
+  int mask = 1;
+  while (mask < n && (vrank & mask) == 0) {
+    const int child_v = vrank + mask;
+    if (child_v < n)
+      children.push_back(coll_recv((child_v + root) % n, detail::kTagGather));
+    mask <<= 1;
+  }
+  if (vrank != 0) {
+    pack_entry(bundle, rank_, data);
+    for (const auto& c : children) bundle.pack_raw(c.payload.span());
+    raw_send(((vrank & (vrank - 1)) + root) % n, detail::kTagGather,
+             std::move(bundle).take_buffer(), "gather");
+    return out;
+  }
+  out.resize(n);
+  out[root] = std::move(data);  // the root's own entry is never repacked
+  for (const auto& c : children) unpack_entries(c.payload.span(), out);
   return out;
 }
 
 std::vector<Buffer> Communicator::allgather(Buffer data) {
   trace::Span span("rt.allgather", "rt", data.size());
-  auto parts = gather(std::move(data), 0);
-  // Broadcast the concatenation with a simple length-prefixed framing; the
-  // concatenated block itself is then shared by reference across ranks.
-  PackBuffer b;
-  if (rank_ == 0) {
-    for (auto& p : parts) b.pack_span(std::span<const std::byte>(p.span()));
+  const int n = size();
+  std::vector<Buffer> out(n);
+  if (n == 1) {
+    out[0] = std::move(data);
+    return out;
   }
+  if (n == floor_pow2(n)) {
+    // Recursive doubling: after round k each rank holds the entries of its
+    // 2^(k+1)-aligned block, exchanged with the partner that differs in bit
+    // k. ceil(log2 n) rounds, n*log2 n messages, no root bottleneck.
+    out[rank_] = std::move(data);
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      const int mine_lo = rank_ & ~(mask - 1);  // base of the block I hold
+      PackBuffer b;
+      for (int r = mine_lo; r < mine_lo + mask; ++r) pack_entry(b, r, out[r]);
+      raw_send(partner, detail::kTagAllgather, std::move(b).take_buffer(),
+               "allgather");
+      Message m = coll_recv(partner, detail::kTagAllgather);
+      unpack_entries(m.payload.span(), out);
+    }
+    return out;
+  }
+  // Non-power-of-two: binomial gather to rank 0, then bcast one bundle that
+  // every rank unpacks. 2(n-1) messages, 2*ceil(log2 n) depth; simpler than
+  // a Bruck rotation and the bcast shares a single block by reference.
+  auto parts = gather(std::move(data), 0);
+  PackBuffer b;
+  if (rank_ == 0)
+    for (int r = 0; r < n; ++r) pack_entry(b, r, parts[r]);
   auto bytes = bcast(std::move(b).take_buffer(), 0);
-  UnpackBuffer u(bytes);
-  std::vector<Buffer> out(size());
-  for (int i = 0; i < size(); ++i)
-    out[i] = Buffer(u.unpack_vector<std::byte>());
+  unpack_entries(bytes.span(), out);
   return out;
 }
 
@@ -190,10 +300,22 @@ std::vector<Buffer> Communicator::alltoall(std::vector<Buffer> outgoing) {
   if (static_cast<int>(outgoing.size()) != n)
     throw UsageError("alltoall: outgoing must have one entry per rank");
   trace::Span span("rt.alltoall", "rt", static_cast<std::uint64_t>(n));
-  for (int i = 0; i < n; ++i) raw_send(i, kTagAlltoall, std::move(outgoing[i]));
+  for (int i = 0; i < n; ++i)
+    raw_send(i, detail::kTagAlltoall, std::move(outgoing[i]), "alltoall");
+  // Drain in arrival order, but gate the wildcard on peers that still owe
+  // THIS alltoall a payload: with eager sends, a fast rank's payload for a
+  // back-to-back second alltoall can already be queued while another peer's
+  // first-round payload is still in flight, and a bare any-source receive
+  // could consume it a round early (the executor-drain race,
+  // docs/PERFORMANCE.md). One message per peer per round makes the owed set
+  // a bitmap.
+  std::vector<char> owed(n, 1);
   std::vector<Buffer> incoming(n);
   for (int i = 0; i < n; ++i) {
-    Message m = my_box().get(kAnySource, kTagAlltoall);
+    Message m = my_box().get_if(
+        kAnySource, detail::kTagAlltoall,
+        [&](const Message& msg) { return owed[msg.src] != 0; });
+    owed[m.src] = 0;
     incoming[m.src] = std::move(m.payload);
   }
   return incoming;

@@ -3,10 +3,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "rt/request.hpp"
 #include "rt/serialize.hpp"
 #include "rt/universe.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::rt {
 
@@ -25,7 +28,34 @@ class Communicator;
 /// Returned by split() for ranks that pass kUndefinedColor.
 inline constexpr int kUndefinedColor = -1;
 
+/// Smallest k with 2^k >= n (n >= 1): the round count of the log-depth
+/// collectives. Exposed so tests and benches can assert message counts.
+constexpr int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+/// Largest power of two <= n (n >= 1).
+constexpr int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
 namespace detail {
+
+// Reserved (negative) tags, one per collective. Distinct tags keep different
+// collective kinds out of each other's matched streams; repeats of the SAME
+// kind are kept straight by per-(src, tag) FIFO delivery plus uniform
+// program order — see the tag-reuse note in communicator.cpp.
+inline constexpr int kTagBarrier = -2;
+inline constexpr int kTagBcast = -4;
+inline constexpr int kTagGather = -5;
+inline constexpr int kTagAlltoall = -6;
+inline constexpr int kTagAllgather = -7;
+inline constexpr int kTagReduce = -8;
+inline constexpr int kTagAllreduce = -9;
 
 /// Shared state of a communicator: the member list (as universe-global
 /// ids), one mailbox per member, per-communicator traffic counters and the
@@ -63,7 +93,9 @@ struct CommState {
 /// MPI routines the CCA prototypes were built on: matched point-to-point
 /// send/recv with tags, non-blocking variants, and the collective set used
 /// by the redistribution and PRMI layers (barrier, bcast, gather, allgather,
-/// alltoall(v), reduce, split).
+/// alltoall(v), reduce, allreduce, split). Every collective is log-depth
+/// (docs/PERFORMANCE.md): dissemination barrier, binomial-tree
+/// bcast/gather/reduce, recursive-doubling allgather/allreduce.
 ///
 /// User code must use tags >= 0; negative tags are reserved for the
 /// collective implementations.
@@ -113,11 +145,13 @@ class Communicator {
 
   /// Receive into a fresh typed vector. This is necessarily one deep copy
   /// (counted in rt.bytes_copied); callers on the hot path should recv() and
-  /// alias the payload via Buffer::view<T>() instead.
+  /// alias the payload via Buffer::view<T>() instead. `timeout_ms` is the
+  /// per-call deadline, with the same semantics as recv().
   template <class T>
     requires std::is_trivially_copyable_v<T>
-  std::vector<T> recv_vector(int src, int tag, int* actual_src = nullptr) {
-    Message m = recv(src, tag);
+  std::vector<T> recv_vector(int src, int tag, int* actual_src = nullptr,
+                             int timeout_ms = -1) {
+    Message m = recv(src, tag, timeout_ms);
     if (actual_src) *actual_src = m.src;
     if (m.payload.size() % sizeof(T) != 0)
       throw UsageError("recv_vector: payload size not a multiple of sizeof(T)");
@@ -129,8 +163,9 @@ class Communicator {
 
   template <class T>
     requires std::is_trivially_copyable_v<T>
-  T recv_value(int src, int tag, int* actual_src = nullptr) {
-    Message m = recv(src, tag);
+  T recv_value(int src, int tag, int* actual_src = nullptr,
+               int timeout_ms = -1) {
+    Message m = recv(src, tag, timeout_ms);
     if (actual_src) *actual_src = m.src;
     UnpackBuffer u(m.payload);
     return u.unpack<T>();
@@ -153,11 +188,15 @@ class Communicator {
   std::optional<Message> try_recv(int src, int tag);
 
   // --- collectives ----------------------------------------------------------
+  /// Dissemination barrier: ceil(log2 n) rounds, one send per rank per round
+  /// (n * ceil(log2 n) messages) instead of the old gather-to-root +
+  /// broadcast-release whose root serialized 2(n-1) matched operations.
   void barrier();
 
-  /// Root's payload is returned on every rank. All destinations share ONE
-  /// refcounted payload block — a bcast is O(1) deep copies regardless of
-  /// the communicator size.
+  /// Root's payload is returned on every rank. Binomial tree: the root
+  /// reaches everyone in ceil(log2 n) rounds and every hop forwards the SAME
+  /// refcounted payload block — a bcast is O(1) deep copies (in fact zero)
+  /// regardless of the communicator size, still n-1 messages total.
   Buffer bcast(Buffer data, int root);
 
   template <class T>
@@ -180,9 +219,17 @@ class Communicator {
   }
 
   /// Gather per-rank payloads at root. On root the result has size() entries
-  /// (index == source rank); on other ranks it is empty.
+  /// (index == source rank); on other ranks it is empty. Binomial tree:
+  /// interior nodes bundle their subtree's entries into one pooled payload,
+  /// so the root performs ceil(log2 n) matched receives instead of n-1
+  /// (still n-1 messages total; interior bundling trades O(B log n) extra
+  /// bytes on the wire for the log-depth critical path).
   std::vector<Buffer> gather(Buffer data, int root);
 
+  /// Everyone gets every rank's payload (index == source rank). Recursive
+  /// doubling when size() is a power of two (ceil(log2 n) rounds,
+  /// n * log2 n messages); otherwise a binomial gather + bcast of the
+  /// bundle (2 ceil(log2 n) rounds, 2(n-1) messages).
   std::vector<Buffer> allgather(Buffer data);
 
   template <class T>
@@ -201,16 +248,109 @@ class Communicator {
   /// Personalized all-to-all: outgoing[i] goes to rank i; the result's entry
   /// j is what rank j sent to us. Naturally "v" — entries may differ in size.
   /// Outgoing buffers are moved (or refcount-shared if the caller keeps a
-  /// handle), never deep-copied.
+  /// handle), never deep-copied. Receives drain in arrival order behind an
+  /// owed-peer predicate, so back-to-back alltoalls on one communicator can
+  /// never steal each other's messages (see communicator.cpp).
   std::vector<Buffer> alltoall(std::vector<Buffer> outgoing);
 
+  /// Element-wise reduction of equal-length spans over a binomial tree
+  /// (n-1 messages, ceil(log2 n) rounds): on the root, returns the combined
+  /// vector; on other ranks, returns empty. Partial results travel packed in
+  /// pooled buffers and are combined in place. `op` must be associative and
+  /// commutative (subtree grouping is rank-order but rotated by the root, so
+  /// floating-point rounding may differ from a serial left fold).
+  template <class T, class BinaryOp>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> reduce(std::span<const T> local, BinaryOp op, int root) {
+    const int n = size();
+    if (root < 0 || root >= n) throw UsageError("reduce: root rank out of range");
+    trace::Span span("rt.reduce", "rt", local.size_bytes());
+    Buffer acc = Buffer::copy_of(as_bytes_span(local));  // pooled accumulator
+    const int vrank = (rank_ - root + n) % n;
+    int mask = 1;
+    while (mask < n && (vrank & mask) == 0) {
+      const int child_v = vrank + mask;
+      if (child_v < n) {
+        Message m = coll_recv((child_v + root) % n, detail::kTagReduce);
+        combine_into<T>(acc, m.payload, op, "reduce");
+      }
+      mask <<= 1;
+    }
+    if (vrank != 0) {
+      // Parent: clear the lowest set bit of the (root-relative) rank.
+      raw_send(((vrank & (vrank - 1)) + root) % n, detail::kTagReduce,
+               std::move(acc), "reduce");
+      return {};
+    }
+    auto v = acc.view<T>();
+    note_bytes_copied(acc.size());
+    return std::vector<T>(v.begin(), v.end());
+  }
+
+  /// Element-wise all-reduce of equal-length spans; every rank returns the
+  /// combined vector. Recursive doubling when size() is a power of two —
+  /// exactly ceil(log2 n) rounds, n * log2 n messages — with a binomial
+  /// fold-in/fold-out for the ranks above the largest power of two
+  /// otherwise. Same op requirements as reduce().
+  template <class T, class BinaryOp>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> allreduce(std::span<const T> local, BinaryOp op) {
+    const int n = size();
+    const std::size_t count = local.size();
+    if (n == 1) return std::vector<T>(local.begin(), local.end());
+    trace::Span span("rt.allreduce", "rt", local.size_bytes());
+    Buffer acc = Buffer::copy_of(as_bytes_span(local));
+    const int pof2 = floor_pow2(n);
+    // Fold-in: ranks >= pof2 ship their contribution to rank - pof2 and
+    // wait for the combined result at the end.
+    if (rank_ >= pof2) {
+      raw_send(rank_ - pof2, detail::kTagAllreduce, std::move(acc),
+               "allreduce");
+      Message m = coll_recv(rank_ - pof2, detail::kTagAllreduce);
+      auto v = m.payload.view<T>();
+      if (v.size() != count)
+        throw UsageError("allreduce: span lengths differ across ranks");
+      note_bytes_copied(m.payload.size());
+      return std::vector<T>(v.begin(), v.end());
+    }
+    if (rank_ + pof2 < n) {
+      Message m = coll_recv(rank_ + pof2, detail::kTagAllreduce);
+      combine_into<T>(acc, m.payload, op, "allreduce");
+    }
+    // Recursive doubling among the power-of-two group: partners exchange
+    // accumulators (refcount-shared into the mailbox, never deep-copied) and
+    // combine into a fresh pooled block each round.
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      raw_send(partner, detail::kTagAllreduce, acc, "allreduce");
+      Message m = coll_recv(partner, detail::kTagAllreduce);
+      auto theirs = m.payload.view<T>();
+      if (theirs.size() != count)
+        throw UsageError("allreduce: span lengths differ across ranks");
+      Buffer next = Buffer::allocate(count * sizeof(T));
+      auto mine = acc.view<T>();
+      T* out = reinterpret_cast<T*>(next.mutable_data());
+      // Keep lower ranks as the left operand so every rank folds in the
+      // same order (associativity then makes the results identical).
+      const std::span<const T> lo = rank_ < partner ? mine : theirs;
+      const std::span<const T> hi = rank_ < partner ? theirs : mine;
+      for (std::size_t i = 0; i < count; ++i) out[i] = op(lo[i], hi[i]);
+      acc = std::move(next);
+    }
+    // Fold-out: hand the result back to the rank folded in above. The block
+    // is shared, not copied.
+    if (rank_ + pof2 < n)
+      raw_send(rank_ + pof2, detail::kTagAllreduce, acc, "allreduce");
+    auto v = acc.view<T>();
+    note_bytes_copied(acc.size());
+    return std::vector<T>(v.begin(), v.end());
+  }
+
+  /// Scalar all-reduce, log-depth via the span form.
   template <class T, class BinaryOp>
     requires std::is_trivially_copyable_v<T>
   T allreduce(const T& value, BinaryOp op) {
-    auto all = allgather_value(value);
-    T acc = all[0];
-    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
-    return acc;
+    return allreduce(std::span<const T>(&value, 1), op)[0];
   }
 
   // --- communicator management ----------------------------------------------
@@ -234,10 +374,25 @@ class Communicator {
   }
 
  private:
-  void check_dst(int dst) const;
+  void check_dst(int dst, const char* op) const;
   void check_user_tag(int tag) const;
-  void raw_send(int dst, int tag, Buffer data);
+  void raw_send(int dst, int tag, Buffer data, const char* op = "send");
+  /// Blocking matched receive on a reserved collective tag.
+  Message coll_recv(int src, int tag) { return my_box().get(src, tag); }
   Mailbox& my_box() const { return *st_->boxes[rank_]; }
+
+  /// acc[i] = op(acc[i], theirs[i]) in place; acc must still be the sole
+  /// owner of its block (it is: accumulators are shared only when sent).
+  template <class T, class BinaryOp>
+  void combine_into(Buffer& acc, const Buffer& theirs, BinaryOp op,
+                    const char* what) {
+    auto t = theirs.view<T>();
+    if (theirs.size() != acc.size())
+      throw UsageError(std::string(what) +
+                       ": span lengths differ across ranks");
+    T* a = reinterpret_cast<T*>(acc.mutable_data());
+    for (std::size_t i = 0; i < t.size(); ++i) a[i] = op(a[i], t[i]);
+  }
 
   std::shared_ptr<detail::CommState> st_;
   int rank_ = -1;

@@ -11,9 +11,15 @@ namespace mxn::rt {
 
 /// Handle for a non-blocking operation, in the spirit of MPI_Request.
 ///
-/// Sends in this runtime are eager/buffered (the payload is copied into the
-/// destination mailbox at send time), so an isend's request is born complete.
-/// An irecv's request performs the matched receive lazily in wait()/test().
+/// Sends in this runtime are eager (the payload block is moved — or
+/// refcount-shared — into the destination mailbox at send time, no byte
+/// copy), so an isend's request is born complete. An irecv's request
+/// performs the matched receive lazily in wait()/test().
+///
+/// Completed requests are sticky: once a receive has matched, every later
+/// wait()/test() returns the same message again (the payload is a
+/// refcounted Buffer, so re-reading shares the block rather than copying
+/// it). Copies of one Request share state, MPI_Request-style.
 class Request {
  public:
   Request() = default;
@@ -45,10 +51,14 @@ class Request {
       st_->msg = st_->box->get(st_->src, st_->tag, timeout_ms);
       st_->done = true;
     }
-    return std::move(st_->msg);
+    // Copy, don't move: the request stays completed-with-payload so a
+    // repeated wait()/test() observes the same message instead of a
+    // moved-from empty one. The payload copy is a refcount bump.
+    return st_->msg;
   }
 
-  /// Poll for completion; on success moves the message into *out (receives).
+  /// Poll for completion; on success copies the message into *out
+  /// (refcount-shared payload — the request keeps its result).
   bool test(Message* out = nullptr) {
     if (!st_) return true;
     if (!st_->done) {
@@ -57,7 +67,7 @@ class Request {
       st_->msg = std::move(*m);
       st_->done = true;
     }
-    if (out) *out = std::move(st_->msg);
+    if (out) *out = st_->msg;
     return true;
   }
 
@@ -75,10 +85,14 @@ class Request {
 };
 
 /// Wait for every request; returns the messages in request order.
-inline std::vector<Message> wait_all(std::vector<Request>& reqs) {
+/// `timeout_ms` is the per-request deadline (same semantics as
+/// Request::wait); on expiry the TimeoutError propagates and the already
+/// completed requests keep their results.
+inline std::vector<Message> wait_all(std::vector<Request>& reqs,
+                                     int timeout_ms = -1) {
   std::vector<Message> out;
   out.reserve(reqs.size());
-  for (auto& r : reqs) out.push_back(r.wait());
+  for (auto& r : reqs) out.push_back(r.wait(timeout_ms));
   return out;
 }
 

@@ -212,6 +212,111 @@ TEST(FaultRt, KillRaisesTypedErrorsOnEveryRank) {
   EXPECT_EQ(ctr("fault.killed") - killed0, 1u);
 }
 
+TEST(FaultRt, SelfSendsAreExemptFromChaos) {
+  // Regression: a Drop injected on a self-send (e.g. a rank's own alltoall
+  // entry) deadlocked the rank waiting on its own message. Self-delivery is
+  // a local queue push and bypasses the fault block entirely — even under
+  // drop = 1.0 a rank can always talk to itself.
+  const auto dropped0 = ctr("fault.dropped");
+  rt::spawn(
+      2,
+      [](rt::Communicator& world) {
+        for (int i = 0; i < 10; ++i) {
+          world.send_value(world.rank(), 5, i);
+          EXPECT_EQ(world.recv_value<int>(world.rank(), 5), i);
+        }
+      },
+      {.default_recv_timeout_ms = 300,
+       .faults = rt::FaultPlan{.seed = 5, .drop = 1.0, .min_tag = 1}});
+  // No send was eligible for the plan, so nothing was dropped.
+  EXPECT_EQ(ctr("fault.dropped") - dropped0, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tree collectives under kill plans: an interior node's death must surface
+// as KilledError on the dead rank and TimeoutError on exactly the ranks
+// whose tree/exchange path runs through it — never a hang.
+// ---------------------------------------------------------------------------
+
+TEST(FaultCollectives, BcastInteriorKillStarvesOnlyItsSubtree) {
+  // Binomial bcast, n = 8, root 0: rank 2 receives from 0 and forwards to
+  // its only child, rank 3. Killing 2 before its first operation starves 3;
+  // the other subtrees (1; 4,5,6,7) complete untouched.
+  std::array<std::string, 8> outcome;
+  rt::spawn(
+      8,
+      [&](rt::Communicator& world) {
+        const int r = world.rank();
+        outcome[r] = classify([&] {
+          EXPECT_EQ(world.bcast_value(r == 0 ? 99 : -1, 0), 99);
+        });
+      },
+      {.default_recv_timeout_ms = 200,
+       .faults = rt::FaultPlan{.kill_rank = 2, .kill_after = 0}});
+  EXPECT_EQ(outcome[2], "killed");
+  EXPECT_EQ(outcome[3], "timeout");
+  for (int r : {0, 1, 4, 5, 6, 7}) EXPECT_EQ(outcome[r], "ok") << "rank " << r;
+}
+
+TEST(FaultCollectives, GatherInteriorKillTimesOutAncestors) {
+  // Binomial gather toward root 0, n = 8: rank 6 bundles child 7 and ships
+  // to rank 4, which ships to the root. Killing 6 at its first operation
+  // (the receive from 7) leaves 7 done (its send does not block) but times
+  // out 6's ancestors: 4 and the root.
+  std::array<std::string, 8> outcome;
+  rt::spawn(
+      8,
+      [&](rt::Communicator& world) {
+        outcome[world.rank()] = classify(
+            [&] { (void)world.gather(rt::to_bytes(world.rank()), 0); });
+      },
+      {.default_recv_timeout_ms = 200,
+       .faults = rt::FaultPlan{.kill_rank = 6, .kill_after = 0}});
+  EXPECT_EQ(outcome[6], "killed");
+  EXPECT_EQ(outcome[4], "timeout");
+  EXPECT_EQ(outcome[0], "timeout");
+  for (int r : {1, 2, 3, 5, 7}) EXPECT_EQ(outcome[r], "ok") << "rank " << r;
+}
+
+TEST(FaultCollectives, BarrierKillTimesOutEverySurvivor) {
+  // Dissemination barrier: every rank's exit transitively requires a send
+  // rooted at every other rank, so a rank killed before its first send
+  // times out ALL survivors — the barrier can never falsely complete.
+  std::array<std::string, 6> outcome;
+  rt::spawn(
+      6,
+      [&](rt::Communicator& world) {
+        outcome[world.rank()] = classify([&] { world.barrier(); });
+      },
+      {.default_recv_timeout_ms = 200,
+       .faults = rt::FaultPlan{.kill_rank = 4, .kill_after = 0}});
+  EXPECT_EQ(outcome[4], "killed");
+  for (int r : {0, 1, 2, 3, 5})
+    EXPECT_EQ(outcome[r], "timeout") << "rank " << r;
+}
+
+TEST(FaultCollectives, AllreduceMidExchangeKillPartitionsOutcomes) {
+  // Recursive doubling, n = 8. Rank 5's counted ops: round-1 send (0) and
+  // receive (1) with partner 4, then the round-2 send to partner 7 — where
+  // kill_after = 2 fires, before delivery. Round 2 starves 7; round 3 then
+  // starves 5's and 7's round-3 partners (1 and 3). The 0/2/4/6 exchange
+  // subgraph never routes through the dead rank and completes.
+  std::array<std::string, 8> outcome;
+  rt::spawn(
+      8,
+      [&](rt::Communicator& world) {
+        outcome[world.rank()] = classify([&] {
+          (void)world.allreduce(world.rank() + 1,
+                                [](int a, int b) { return a + b; });
+        });
+      },
+      {.default_recv_timeout_ms = 250,
+       .faults = rt::FaultPlan{.kill_rank = 5, .kill_after = 2}});
+  EXPECT_EQ(outcome[5], "killed");
+  for (int r : {1, 3, 7}) EXPECT_EQ(outcome[r], "timeout") << "rank " << r;
+  for (int r : {0, 2, 4, 6}) EXPECT_EQ(outcome[r], "ok") << "rank " << r;
+}
+
 // ---------------------------------------------------------------------------
 // Reliable M×N transfer under chaos
 // ---------------------------------------------------------------------------

@@ -168,19 +168,67 @@ TEST(RtNonBlocking, WaitAllGathersEverything) {
   });
 }
 
+TEST(RtNonBlocking, CompletedRequestsAreSticky) {
+  rt::spawn(2, [](rt::Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 4);
+      rt::Message first = req.wait();
+      EXPECT_EQ(first.src, 1);
+      // Regression: wait() used to move the message out of the request, so
+      // a second wait()/test() observed a moved-from empty Message.
+      rt::Message again = req.wait();
+      EXPECT_EQ(again.src, 1);
+      ASSERT_EQ(again.payload.size(), first.payload.size());
+      rt::UnpackBuffer u(again.payload);
+      EXPECT_EQ(u.unpack<int>(), 4321);
+      rt::Message polled;
+      EXPECT_TRUE(req.test(&polled));
+      rt::UnpackBuffer up(polled.payload);
+      EXPECT_EQ(up.unpack<int>(), 4321);
+      // Re-reads share one refcounted block rather than copying it.
+      EXPECT_EQ(first.payload.data(), again.payload.data());
+      EXPECT_EQ(first.payload.data(), polled.payload.data());
+    } else {
+      comm.send_value<int>(0, 4, 4321);
+    }
+  });
+}
+
+TEST(RtTimeout, TypedReceiveHelpersHonorDeadline) {
+  // Regression: recv_vector/recv_value/wait_all used to drop the per-call
+  // deadline on the floor, waiting forever on the underlying recv.
+  rt::spawn(2, [](rt::Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.recv_vector<int>(1, 8, nullptr, 50),
+                   rt::TimeoutError);
+      EXPECT_THROW(comm.recv_value<int>(1, 8, nullptr, 50), rt::TimeoutError);
+      std::vector<rt::Request> reqs;
+      reqs.push_back(comm.irecv(1, 8));
+      EXPECT_THROW(rt::wait_all(reqs, 50), rt::TimeoutError);
+      comm.send_value<int>(1, 9, 1);  // release the peer
+    } else {
+      comm.recv(0, 9);
+    }
+  });
+}
+
 TEST(RtProbe, ProbeAndTryRecv) {
   rt::spawn(2, [](rt::Communicator& comm) {
     if (comm.rank() == 0) {
+      // The peer sends only on our signal, so nothing can be in flight yet.
+      // (This used to race the peer's eager send: the "not arrived yet"
+      // try_recv could consume the real message and livelock the probe
+      // loop below.)
       EXPECT_FALSE(comm.try_recv(1, 11).has_value());
-      comm.barrier();  // peer has sent after this
+      comm.send(1, 10, std::vector<std::byte>{});
       while (!comm.probe(1, 11)) {
       }
       auto m = comm.try_recv(1, 11);
       ASSERT_TRUE(m.has_value());
       EXPECT_EQ(m->src, 1);
     } else {
+      comm.recv(0, 10);
       comm.send_value<int>(0, 11, 1);
-      comm.barrier();
     }
   });
 }
