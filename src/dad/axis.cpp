@@ -211,4 +211,174 @@ bool operator==(const AxisDist& a, const AxisDist& b) {
          a.gen_sizes_ == b.gen_sizes_ && a.owners_ == b.owners_;
 }
 
+// ---------------------------------------------------------------------------
+// Closed-form per-axis overlap enumeration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Visit the block-cyclic blocks of coordinate `p` of `d` intersecting
+/// [lo, hi), ascending: fn(interval_index, overlap_lo, overlap_hi). The
+/// qualifying block numbers form an arithmetic progression (≡ p mod nprocs),
+/// so nothing is scanned.
+template <class Fn>
+void bc_blocks_in(const AxisDist& d, int p, Index lo, Index hi, Fn&& fn) {
+  const Index b = d.block_size();
+  const Index np = d.nprocs();
+  lo = std::max<Index>(lo, 0);
+  hi = std::min(hi, d.extent());
+  if (lo >= hi) return;
+  const Index j_lo = lo / b;
+  const Index j_hi = (hi - 1) / b;
+  const Index j0 = j_lo + (((p - j_lo) % np) + np) % np;  // first ≡ p (mod np)
+  const Index ext = d.extent();
+  // The interval index of block j is j / np; successive qualifying blocks
+  // differ by np, so it just increments — no division in the loop.
+  std::int32_t iv = static_cast<std::int32_t>(j0 / np);
+  for (Index j = j0; j <= j_hi; j += np, ++iv) {
+    const Index blo = std::max(lo, j * b);
+    const Index bhi = std::min(hi, std::min((j + 1) * b, ext));
+    if (blo < bhi) fn(iv, blo, bhi);
+  }
+}
+
+/// Visit the intervals of a sorted disjoint list intersecting [lo, hi),
+/// ascending: fn(interval_index, overlap_lo, overlap_hi). Binary search to
+/// the first candidate, then a bounded scan.
+template <class Fn>
+void list_overlaps_in(const std::vector<IndexInterval>& ivs, Index lo,
+                      Index hi, Fn&& fn) {
+  // First interval whose hi exceeds lo: the one before the first with
+  // iv.lo > lo may still straddle lo.
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), lo,
+      [](Index v, const IndexInterval& iv) { return v < iv.lo; });
+  if (it != ivs.begin() && std::prev(it)->hi > lo) --it;
+  for (; it != ivs.end() && it->lo < hi; ++it) {
+    const Index olo = std::max(lo, it->lo);
+    const Index ohi = std::min(hi, it->hi);
+    if (olo < ohi)
+      fn(static_cast<std::int32_t>(it - ivs.begin()), olo, ohi);
+  }
+}
+
+/// Both sides block-cyclic with many intervals: compute the overlap pattern
+/// of one lcm period and replay it across the extent. O(per-period blocks +
+/// output) — for cyclic x cyclic the period is lcm(p1, p2) indices, so cost
+/// is O(output) with a tiny constant.
+void bc_bc_overlaps(const AxisDist& a, int pa, const AxisDist& b, int pb,
+                    std::vector<AxisOverlap>& out) {
+  const Index extent = a.extent();
+  const Index ca = a.block_size() * a.nprocs();  // ownership cycle lengths
+  const Index cb = b.block_size() * b.nprocs();
+  const Index g = std::gcd(ca, cb);
+  const Index L = ca / g * cb;  // lcm; may exceed extent (single period)
+  const Index hi_pattern = std::min(L, extent);
+
+  struct Block {
+    std::int32_t iv;
+    Index lo, hi;
+  };
+  auto blocks_of = [&](const AxisDist& d, int p) {
+    std::vector<Block> v;
+    bc_blocks_in(d, p, 0, hi_pattern, [&](std::int32_t iv, Index lo,
+                                          Index hi2) {
+      v.push_back({iv, lo, hi2});
+    });
+    return v;
+  };
+  const auto ba = blocks_of(a, pa);
+  const auto bb = blocks_of(b, pb);
+
+  // Per-period overlap pattern by two-pointer sweep of the two block lists.
+  struct Pat {
+    std::int32_t a_iv, b_iv;
+    Index lo, hi;
+  };
+  std::vector<Pat> pat;
+  for (std::size_t i = 0, j = 0; i < ba.size() && j < bb.size();) {
+    const Index lo = std::max(ba[i].lo, bb[j].lo);
+    const Index hi = std::min(ba[i].hi, bb[j].hi);
+    if (lo < hi) pat.push_back({ba[i].iv, bb[j].iv, lo, hi});
+    if (ba[i].hi < bb[j].hi)
+      ++i;
+    else
+      ++j;
+  }
+  if (pat.empty()) return;
+
+  // Replay: interval indices advance by the per-period interval counts.
+  const std::int32_t step_a = static_cast<std::int32_t>(L / ca);
+  const std::int32_t step_b = static_cast<std::int32_t>(L / cb);
+  for (Index t = 0, m = 0; t < extent; t += L, ++m) {
+    for (const auto& p : pat) {
+      const Index lo = p.lo + t;
+      if (lo >= extent) break;  // pattern ascending: rest is past the end
+      out.push_back({p.a_iv + static_cast<std::int32_t>(m) * step_a,
+                     p.b_iv + static_cast<std::int32_t>(m) * step_b, lo,
+                     std::min(p.hi + t, extent)});
+    }
+  }
+}
+
+}  // namespace
+
+void axis_overlaps(const AxisDist& a, int pa, const AxisDist& b, int pb,
+                   std::vector<AxisOverlap>& out) {
+  if (a.extent() != b.extent())
+    throw UsageError("axis_overlaps requires equal axis extents");
+  const auto& ia = a.intervals_of(pa);
+  const auto& ib = b.intervals_of(pb);
+  if (ia.empty() || ib.empty()) return;
+
+  // When one side has few intervals, walk it and enumerate the other side
+  // analytically (block-cyclic) or by binary search + bounded scan. Output
+  // is lo-ascending either way (each walked interval's overlaps lie inside
+  // it, and the walked intervals are ascending and disjoint).
+  constexpr std::size_t kFew = 8;
+  if (ia.size() <= kFew || ib.size() <= kFew) {
+    if (ia.size() <= ib.size()) {
+      for (std::int32_t k = 0; k < static_cast<std::int32_t>(ia.size()); ++k) {
+        auto emit = [&](std::int32_t j, Index lo, Index hi) {
+          out.push_back({k, j, lo, hi});
+        };
+        if (b.kind() == AxisKind::BlockCyclic)
+          bc_blocks_in(b, pb, ia[k].lo, ia[k].hi, emit);
+        else
+          list_overlaps_in(ib, ia[k].lo, ia[k].hi, emit);
+      }
+    } else {
+      for (std::int32_t k = 0; k < static_cast<std::int32_t>(ib.size()); ++k) {
+        auto emit = [&](std::int32_t j, Index lo, Index hi) {
+          out.push_back({j, k, lo, hi});
+        };
+        if (a.kind() == AxisKind::BlockCyclic)
+          bc_blocks_in(a, pa, ib[k].lo, ib[k].hi, emit);
+        else
+          list_overlaps_in(ia, ib[k].lo, ib[k].hi, emit);
+      }
+    }
+    return;
+  }
+
+  if (a.kind() == AxisKind::BlockCyclic && b.kind() == AxisKind::BlockCyclic) {
+    bc_bc_overlaps(a, pa, b, pb, out);
+    return;
+  }
+
+  // Fallback (many intervals on both sides, at least one irregular —
+  // implicit axes): two-pointer sweep over both lists.
+  for (std::size_t i = 0, j = 0; i < ia.size() && j < ib.size();) {
+    const Index lo = std::max(ia[i].lo, ib[j].lo);
+    const Index hi = std::min(ia[i].hi, ib[j].hi);
+    if (lo < hi)
+      out.push_back({static_cast<std::int32_t>(i),
+                     static_cast<std::int32_t>(j), lo, hi});
+    if (ia[i].hi < ib[j].hi)
+      ++i;
+    else
+      ++j;
+  }
+}
+
 }  // namespace mxn::dad

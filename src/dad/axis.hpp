@@ -93,4 +93,27 @@ class AxisDist {
   std::vector<Index> counts_;
 };
 
+/// One overlapping interval pair along a single axis: interval `a_iv` of
+/// side A's coordinate intersects interval `b_iv` of side B's coordinate on
+/// [lo, hi). Interval indices refer to positions in intervals_of().
+struct AxisOverlap {
+  std::int32_t a_iv = 0;
+  std::int32_t b_iv = 0;
+  Index lo = 0;
+  Index hi = 0;
+};
+
+/// Append every overlapping interval pair between coordinate `pa` of axis
+/// `a` and coordinate `pb` of axis `b` (same extent) to `out`, ascending by
+/// lo — which, because per-coordinate interval lists are ascending and
+/// disjoint, is also (a_iv, b_iv) lexicographic order. Closed-form on the
+/// regular patterns: when one side has few intervals the other side's
+/// intersecting blocks are enumerated as an arithmetic progression; when
+/// both sides are block-cyclic the overlap pattern of one lcm period is
+/// computed once and replayed. Cost is O(output) plus a small additive term
+/// on those paths; the fallback (an implicit axis on both sides) is a
+/// two-pointer sweep, O(|a| + |b| + output).
+void axis_overlaps(const AxisDist& a, int pa, const AxisDist& b, int pb,
+                   std::vector<AxisOverlap>& out);
+
 }  // namespace mxn::dad

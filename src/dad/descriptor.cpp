@@ -1,8 +1,11 @@
 #include "dad/descriptor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <sstream>
+
+#include "trace/trace.hpp"
 
 namespace mxn::dad {
 
@@ -90,13 +93,8 @@ void Descriptor::finalize() {
   } else {
     // Process grid coordinates: axis a has axes_[a].nprocs() coordinates;
     // rank is the row-major composition (last axis fastest).
-    std::array<int, kMaxNdim> coords{};
     for (int r = 0; r < nranks_; ++r) {
-      int rem = r;
-      for (int a = ndim_ - 1; a >= 0; --a) {
-        coords[a] = rem % axes_[a].nprocs();
-        rem /= axes_[a].nprocs();
-      }
+      const std::array<int, kMaxNdim> coords = grid_coords(r);
       // Cartesian product of the per-axis interval lists, lexicographic by
       // interval index (row-major, last axis fastest).
       std::array<const std::vector<IndexInterval>*, kMaxNdim> ivs{};
@@ -150,6 +148,49 @@ void Descriptor::finalize() {
     rank_volumes_[r] = acc;
     rank_bboxes_[r] = box;
   }
+  index_ = std::make_shared<SpatialIndex>();
+}
+
+std::array<int, kMaxNdim> Descriptor::grid_coords(int rank) const {
+  if (explicit_)
+    throw UsageError("grid_coords is defined for regular templates only");
+  if (rank < 0 || rank >= nranks_) throw UsageError("rank out of range");
+  std::array<int, kMaxNdim> coords{};
+  int rem = rank;
+  for (int a = ndim_ - 1; a >= 0; --a) {
+    coords[a] = rem % axes_[a].nprocs();
+    rem /= axes_[a].nprocs();
+  }
+  return coords;
+}
+
+const std::vector<std::vector<Descriptor::IndexedPatch>>&
+Descriptor::spatial_index() const {
+  std::call_once(index_->once, [this] {
+    static trace::Counter& builds = trace::counter("sched.index.builds");
+    builds.add(1);
+    auto& per_rank = index_->per_rank;
+    per_rank.resize(nranks_);
+    for (int r = 0; r < nranks_; ++r) {
+      auto& v = per_rank[r];
+      const auto& patches = rank_patches_[r];
+      v.reserve(patches.size());
+      for (std::size_t i = 0; i < patches.size(); ++i)
+        v.push_back({patches[i], static_cast<std::int32_t>(i), 0});
+      std::sort(v.begin(), v.end(),
+                [](const IndexedPatch& a, const IndexedPatch& b) {
+                  return a.patch.lo[0] != b.patch.lo[0]
+                             ? a.patch.lo[0] < b.patch.lo[0]
+                             : a.idx < b.idx;
+                });
+      Index running = std::numeric_limits<Index>::min();
+      for (auto& e : v) {
+        running = std::max(running, e.patch.hi[0]);
+        e.max_hi0 = running;
+      }
+    }
+  });
+  return index_->per_rank;
 }
 
 int Descriptor::owner(const Point& p) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,28 @@ class Descriptor {
   /// Rank owning a global point.
   [[nodiscard]] int owner(const Point& p) const;
 
+  /// Per-axis process-grid coordinates of `rank` (regular templates only):
+  /// the inverse of the row-major rank composition, so
+  /// patches_of(rank) == cross product of axes()[a].intervals_of(coords[a]).
+  [[nodiscard]] std::array<int, kMaxNdim> grid_coords(int rank) const;
+
+  /// One rank's patches indexed for overlap queries: sorted by lo[0], with
+  /// a running maximum of hi[0] so a query can binary-search to the first
+  /// candidate and stop at the first entry starting past it.
+  struct IndexedPatch {
+    Patch patch;
+    std::int32_t idx = 0;    // position in patches_of(rank)
+    Index max_hi0 = 0;       // max hi[0] over entries [0 .. this]
+  };
+
+  /// Memoized per-rank spatial index over the owned patches. Built lazily,
+  /// once per descriptor (thread-safe; copies share it), and counted by the
+  /// `sched.index.builds` trace counter. The schedule builders use it to
+  /// find overlapping peer patches by binary search + bounded sweep instead
+  /// of a full patch-pair scan.
+  [[nodiscard]] const std::vector<std::vector<IndexedPatch>>& spatial_index()
+      const;
+
   /// Storage offset (within rank's concatenated patch storage) of an owned
   /// global point. Throws if `rank` does not own `p`.
   [[nodiscard]] Index global_to_local(int rank, const Point& p) const;
@@ -134,6 +157,15 @@ class Descriptor {
   std::vector<std::vector<Index>> rank_patch_bases_;
   std::vector<Index> rank_volumes_;
   std::vector<Patch> rank_bboxes_;
+
+  // Lazily built spatial index, shared between copies (same structure ⇒
+  // same index). The holder is allocated eagerly in finalize() so the
+  // descriptor itself stays copyable.
+  struct SpatialIndex {
+    std::once_flag once;
+    std::vector<std::vector<IndexedPatch>> per_rank;
+  };
+  std::shared_ptr<SpatialIndex> index_;
 };
 
 /// Shared immutable descriptor handle; cohort threads and the framework pass

@@ -1,8 +1,11 @@
 #include "linear/linearization.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
 
 #include "rt/error.hpp"
+#include "trace/trace.hpp"
 
 namespace mxn::linear {
 
@@ -125,6 +128,156 @@ std::vector<Segment> footprint(const dad::Descriptor& desc, int rank,
   segs.reserve(prov.size());
   for (const auto& ps : prov) segs.push_back(ps.seg);
   return normalize(std::move(segs));
+}
+
+std::size_t Linearization::structural_hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(ndim_));
+  for (int a = 0; a < ndim_; ++a) {
+    mix(static_cast<std::uint64_t>(extents_[a]));
+    mix(static_cast<std::uint64_t>(order_[a]));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Footprint memoization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cache key: descriptor + linearization structural hashes plus a cheap
+/// shape fingerprint guarding against hash collisions between differently
+/// shaped descriptors (the hashes themselves are 64-bit FNV-1a over the
+/// full canonical serializations).
+struct FpKey {
+  std::size_t desc_hash = 0;
+  std::size_t lin_hash = 0;
+  int rank = -1;  // -1 keys the whole-descriptor ownership map
+  int nranks = 0;
+  int ndim = 0;
+  bool is_explicit = false;
+  dad::Point extents{};
+
+  friend bool operator==(const FpKey&, const FpKey&) = default;
+};
+
+struct FpKeyHash {
+  std::size_t operator()(const FpKey& k) const {
+    std::size_t h = k.desc_hash;
+    h = h * 1099511628211ull + k.lin_hash;
+    h = h * 1099511628211ull + static_cast<std::size_t>(k.rank + 1);
+    return h;
+  }
+};
+
+FpKey make_key(const dad::Descriptor& desc, int rank,
+               const Linearization& lin) {
+  FpKey k;
+  k.desc_hash = desc.structural_hash();
+  k.lin_hash = lin.structural_hash();
+  k.rank = rank;
+  k.nranks = desc.nranks();
+  k.ndim = desc.ndim();
+  k.is_explicit = desc.is_explicit();
+  for (int a = 0; a < desc.ndim(); ++a) k.extents[a] = desc.extent(a);
+  return k;
+}
+
+struct FpCache {
+  std::mutex mu;
+  std::unordered_map<FpKey, SegmentsPtr, FpKeyHash> footprints;
+  std::unordered_map<FpKey, OwnershipPtr, FpKeyHash> ownerships;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+FpCache& fp_cache() {
+  static FpCache c;
+  return c;
+}
+
+}  // namespace
+
+SegmentsPtr footprint_cached(const dad::Descriptor& desc, int rank,
+                             const Linearization& lin) {
+  static trace::Counter& hits = trace::counter("sched.footprint.hits");
+  static trace::Counter& misses = trace::counter("sched.footprint.misses");
+  const FpKey key = make_key(desc, rank, lin);
+  auto& c = fp_cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.footprints.find(key);
+    if (it != c.footprints.end()) {
+      ++c.hits;
+      hits.add(1);
+      return it->second;
+    }
+    ++c.misses;
+    misses.add(1);
+  }
+  // Compute outside the lock so concurrent ranks don't serialize; a racing
+  // duplicate build is harmless (first insert wins).
+  auto built =
+      std::make_shared<const std::vector<Segment>>(footprint(desc, rank, lin));
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.footprints.emplace(key, std::move(built)).first->second;
+}
+
+std::vector<OwnedSegment> ownership_map(const dad::Descriptor& desc,
+                                        const Linearization& lin) {
+  std::vector<OwnedSegment> out;
+  for (int r = 0; r < desc.nranks(); ++r) {
+    const auto fp = footprint_cached(desc, r, lin);
+    for (const auto& s : *fp) out.push_back({s, r});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OwnedSegment& a, const OwnedSegment& b) {
+              return a.seg.lo < b.seg.lo;
+            });
+  return out;
+}
+
+OwnershipPtr ownership_map_cached(const dad::Descriptor& desc,
+                                  const Linearization& lin) {
+  static trace::Counter& hits = trace::counter("sched.footprint.hits");
+  static trace::Counter& misses = trace::counter("sched.footprint.misses");
+  const FpKey key = make_key(desc, /*rank=*/-1, lin);
+  auto& c = fp_cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.ownerships.find(key);
+    if (it != c.ownerships.end()) {
+      ++c.hits;
+      hits.add(1);
+      return it->second;
+    }
+    ++c.misses;
+    misses.add(1);
+  }
+  auto built = std::make_shared<const std::vector<OwnedSegment>>(
+      ownership_map(desc, lin));
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.ownerships.emplace(key, std::move(built)).first->second;
+}
+
+FootprintCacheStats footprint_cache_stats() {
+  auto& c = fp_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return {c.hits, c.misses, c.footprints.size() + c.ownerships.size()};
+}
+
+void footprint_cache_clear() {
+  auto& c = fp_cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.footprints.clear();
+  c.ownerships.clear();
+  c.hits = 0;
+  c.misses = 0;
 }
 
 }  // namespace mxn::linear

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "dad/descriptor.hpp"
@@ -58,6 +60,15 @@ class Linearization {
   [[nodiscard]] int fastest_axis() const { return order_[ndim_ - 1]; }
   [[nodiscard]] bool is_row_major() const;
 
+  /// Hash of the full identity (ndim, extents, axis order); equal
+  /// linearizations hash equally. Used to key the footprint cache.
+  [[nodiscard]] std::size_t structural_hash() const;
+
+  friend bool operator==(const Linearization& a, const Linearization& b) {
+    return a.ndim_ == b.ndim_ && a.extents_ == b.extents_ &&
+           a.order_ == b.order_;
+  }
+
   [[nodiscard]] Index offset_of(const Point& p) const {
     Index off = 0;
     for (int i = 0; i < ndim_; ++i)
@@ -105,5 +116,42 @@ std::vector<Segment> footprint(const dad::Descriptor& desc, int rank,
 /// instead of per-element descriptor queries.
 std::vector<ProvenancedSegment> footprint_with_provenance(
     const dad::Descriptor& desc, int rank, const Linearization& lin);
+
+/// One run of the descriptor-wide ownership map: `seg` is owned by `owner`.
+struct OwnedSegment {
+  Segment seg;
+  int owner = 0;
+  friend bool operator==(const OwnedSegment&, const OwnedSegment&) = default;
+};
+
+using SegmentsPtr = std::shared_ptr<const std::vector<Segment>>;
+using OwnershipPtr = std::shared_ptr<const std::vector<OwnedSegment>>;
+
+/// footprint(), memoized process-wide per (descriptor, rank, linearization)
+/// — keyed by the descriptor's structural hash plus a shape fingerprint, so
+/// structurally equal descriptor objects share entries. Thread-safe; the
+/// returned vector is immutable and outlives cache clears. Hits/misses are
+/// counted by `sched.footprint.hits` / `sched.footprint.misses`.
+SegmentsPtr footprint_cached(const dad::Descriptor& desc, int rank,
+                             const Linearization& lin);
+
+/// The whole descriptor's ownership map under `lin`: ascending disjoint
+/// (segment, owner) runs exactly covering [0, lin.total()). The runs of one
+/// owner equal footprint(desc, owner, lin), so a single sweep of a local
+/// footprint against this map replaces per-peer footprint + intersect.
+std::vector<OwnedSegment> ownership_map(const dad::Descriptor& desc,
+                                        const Linearization& lin);
+
+/// ownership_map(), memoized like footprint_cached (keyed with rank = -1).
+OwnershipPtr ownership_map_cached(const dad::Descriptor& desc,
+                                  const Linearization& lin);
+
+struct FootprintCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+[[nodiscard]] FootprintCacheStats footprint_cache_stats();
+void footprint_cache_clear();
 
 }  // namespace mxn::linear

@@ -44,6 +44,18 @@ GlobalSegMap::GlobalSegMap(Index gsize, std::vector<Seg> segs)
     by_rank_[s.owner].push_back(s);
     local_sizes_[s.owner] += s.length;
   }
+
+  // Ownership runs: adjacent same-owner segments merge, matching the
+  // normalization footprint() applies per rank.
+  runs_.reserve(sorted_.size());
+  for (const auto& [start, i] : sorted_) {
+    const auto& s = segs_[i];
+    if (!runs_.empty() && runs_.back().owner == s.owner &&
+        runs_.back().seg.hi == s.start)
+      runs_.back().seg.hi = s.start + s.length;
+    else
+      runs_.push_back({{s.start, s.start + s.length}, s.owner});
+  }
 }
 
 GlobalSegMap GlobalSegMap::block(Index gsize, int nprocs) {
@@ -78,11 +90,11 @@ GlobalSegMap GlobalSegMap::cyclic(Index gsize, int nprocs, Index chunk) {
 
 GlobalSegMap GlobalSegMap::from_descriptor(const dad::Descriptor& desc,
                                            const linear::Linearization& lin) {
+  // The cached ownership map already holds every rank's normalized
+  // footprint; per-rank segment order (ascending) is unchanged.
   std::vector<Seg> segs;
-  for (int r = 0; r < desc.nranks(); ++r) {
-    for (const auto& s : linear::footprint(desc, r, lin))
-      segs.push_back({s.lo, s.hi - s.lo, r});
-  }
+  for (const auto& os : linear::ownership_map(desc, lin))
+    segs.push_back({os.seg.lo, os.seg.hi - os.seg.lo, os.owner});
   return GlobalSegMap(lin.total(), std::move(segs));
 }
 

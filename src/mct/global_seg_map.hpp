@@ -71,6 +71,16 @@ class GlobalSegMap {
   /// bridge to the generic schedule machinery.
   [[nodiscard]] std::vector<linear::Segment> footprint(int rank) const;
 
+  /// The whole map as ascending (segment, owner) runs exactly covering
+  /// [0, gsize), with adjacent same-owner runs coalesced — so the runs of
+  /// one owner equal footprint(owner). A single sweep of a local footprint
+  /// against this list replaces per-peer footprint + intersect. Precomputed
+  /// at construction.
+  [[nodiscard]] const std::vector<linear::OwnedSegment>& ownership_runs()
+      const {
+    return runs_;
+  }
+
   void pack(rt::PackBuffer& b) const;
   static GlobalSegMap unpack(rt::UnpackBuffer& u);
 
@@ -86,6 +96,8 @@ class GlobalSegMap {
   std::vector<Index> local_sizes_;
   // Sorted (start, seg index) for owner lookups.
   std::vector<std::pair<Index, std::size_t>> sorted_;
+  // Ascending coalesced ownership runs (see ownership_runs()).
+  std::vector<linear::OwnedSegment> runs_;
 };
 
 }  // namespace mxn::mct

@@ -28,6 +28,34 @@ std::vector<linear::ProvenancedSegment> provenance(const GlobalSegMap& gsm,
   return prov;
 }
 
+/// Sweep `mine` against the peer map's ownership runs once, bucketing the
+/// overlaps by owner — equivalent to intersecting `mine` with every peer's
+/// footprint, but O(|mine| + |runs|) instead of O(peers x map size). Owners
+/// >= max_peers are dropped (they were never queried before either). The
+/// callback receives (peer, segments) for each non-empty bucket, ascending.
+template <class Fn>
+void sweep_ownership(const std::vector<linear::Segment>& mine,
+                     const std::vector<linear::OwnedSegment>& runs,
+                     int max_peers, Fn&& emit) {
+  std::vector<std::vector<linear::Segment>> buckets(
+      static_cast<std::size_t>(max_peers));
+  std::size_t i = 0, j = 0;
+  while (i < mine.size() && j < runs.size()) {
+    const Index lo = std::max(mine[i].lo, runs[j].seg.lo);
+    const Index hi = std::min(mine[i].hi, runs[j].seg.hi);
+    if (lo < hi && runs[j].owner < max_peers)
+      buckets[static_cast<std::size_t>(runs[j].owner)].push_back({lo, hi});
+    if (mine[i].hi < runs[j].seg.hi)
+      ++i;
+    else
+      ++j;
+  }
+  for (int p = 0; p < max_peers; ++p) {
+    auto& segs = buckets[static_cast<std::size_t>(p)];
+    if (!segs.empty()) emit(p, std::move(segs));
+  }
+}
+
 /// Swap GSMaps leader-to-leader and broadcast the peer's within the cohort.
 GlobalSegMap exchange_gsm(RouterConfig& cfg, const GlobalSegMap& mine,
                           int tag) {
@@ -57,15 +85,15 @@ Router Router::build(RouterConfig cfg, const GlobalSegMap& mine,
                      std::to_string(peer_gsm.gsize()) + " points)");
 
   const auto my_foot = mine.footprint(me);
-  for (int p = 0; p < static_cast<int>(cfg.peer_ranks.size()); ++p) {
-    auto common = linear::intersect(my_foot, peer_gsm.footprint(p));
-    if (common.empty()) continue;
-    Peer peer;
-    peer.peer = p;
-    peer.elements = linear::total_length(common);
-    peer.segs = std::move(common);
-    r.peers_.push_back(std::move(peer));
-  }
+  sweep_ownership(my_foot, peer_gsm.ownership_runs(),
+                  static_cast<int>(cfg.peer_ranks.size()),
+                  [&](int p, std::vector<linear::Segment> segs) {
+                    Peer peer;
+                    peer.peer = p;
+                    peer.elements = linear::total_length(segs);
+                    peer.segs = std::move(segs);
+                    r.peers_.push_back(std::move(peer));
+                  });
   r.prov_ = provenance(mine, me);
   r.local_size_ = mine.local_size(me);
   r.is_source_ = is_source;
@@ -133,24 +161,22 @@ Rearranger::Rearranger(rt::Communicator cohort, const GlobalSegMap& src,
   const int me = cohort_.rank();
   const auto src_foot = src.footprint(me);
   const auto dst_foot = dst.footprint(me);
-  for (int p = 0; p < cohort_.size(); ++p) {
-    auto out = linear::intersect(src_foot, dst.footprint(p));
-    if (!out.empty()) {
-      Peer peer;
-      peer.peer = p;
-      peer.elements = linear::total_length(out);
-      peer.segs = std::move(out);
-      sends_.push_back(std::move(peer));
-    }
-    auto in = linear::intersect(src.footprint(p), dst_foot);
-    if (!in.empty()) {
-      Peer peer;
-      peer.peer = p;
-      peer.elements = linear::total_length(in);
-      peer.segs = std::move(in);
-      recvs_.push_back(std::move(peer));
-    }
-  }
+  sweep_ownership(src_foot, dst.ownership_runs(), cohort_.size(),
+                  [&](int p, std::vector<linear::Segment> segs) {
+                    Peer peer;
+                    peer.peer = p;
+                    peer.elements = linear::total_length(segs);
+                    peer.segs = std::move(segs);
+                    sends_.push_back(std::move(peer));
+                  });
+  sweep_ownership(dst_foot, src.ownership_runs(), cohort_.size(),
+                  [&](int p, std::vector<linear::Segment> segs) {
+                    Peer peer;
+                    peer.peer = p;
+                    peer.elements = linear::total_length(segs);
+                    peer.segs = std::move(segs);
+                    recvs_.push_back(std::move(peer));
+                  });
   src_prov_ = provenance(src, me);
   dst_prov_ = provenance(dst, me);
   src_size_ = src.local_size(me);

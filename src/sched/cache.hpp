@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -47,7 +48,9 @@ class ScheduleCache {
     e->dst = dst;
     e->my_src = my_src_rank;
     e->my_dst = my_dst_rank;
+    const std::int64_t t0 = trace::now_ns();
     e->sched = build_region_schedule(*src, *dst, my_src_rank, my_dst_rank);
+    e->build_ns = trace::now_ns() - t0;
     const RegionSchedule& out = e->sched;
     buckets_.emplace(key, std::move(e));
     return out;
@@ -57,6 +60,35 @@ class ScheduleCache {
   [[nodiscard]] std::size_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return buckets_.size(); }
   void clear() { buckets_.clear(); }
+
+  /// Per-entry build cost, for sizing the cache's payoff: an entry that took
+  /// `build_ns` to construct saves that much on every subsequent hit.
+  struct EntryStats {
+    std::size_t key_hash = 0;
+    int my_src = -1;
+    int my_dst = -1;
+    std::int64_t build_ns = 0;
+    std::size_t messages = 0;
+  };
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::int64_t total_build_ns = 0;
+    std::vector<EntryStats> entries;
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries.reserve(buckets_.size());
+    for (const auto& [key, e] : buckets_) {
+      s.entries.push_back(
+          {key, e->my_src, e->my_dst, e->build_ns, e->sched.message_count()});
+      s.total_build_ns += e->build_ns;
+    }
+    return s;
+  }
 
  private:
   static bool same_desc(const dad::DescriptorPtr& a,
@@ -78,6 +110,7 @@ class ScheduleCache {
     dad::DescriptorPtr src, dst;
     int my_src = -1, my_dst = -1;
     RegionSchedule sched;
+    std::int64_t build_ns = 0;
   };
   std::unordered_multimap<std::size_t, std::unique_ptr<Entry>> buckets_;
   std::size_t hits_ = 0;

@@ -31,9 +31,11 @@ void redistribute_receiver_driven(const dad::DistArray<T>* src_arr,
   const int my_src = c.my_src_rank();
 
   // --- receivers announce their needs --------------------------------------
-  std::vector<linear::Segment> my_needs;
+  linear::SegmentsPtr my_needs_ptr;
   if (my_dst >= 0) {
-    my_needs = linear::footprint(dst_arr->descriptor(), my_dst, dst_lin);
+    my_needs_ptr =
+        linear::footprint_cached(dst_arr->descriptor(), my_dst, dst_lin);
+    const auto& my_needs = *my_needs_ptr;
     rt::PackBuffer b;
     b.pack(static_cast<std::uint64_t>(my_needs.size()));
     for (const auto& s : my_needs) {

@@ -47,14 +47,38 @@ struct RegionSchedule {
   }
 };
 
+/// How build_region_schedule derives the intersections. Every path produces
+/// the identical schedule — same peers, same canonical region order, same
+/// element counts — they differ only in build cost.
+enum class BuildPath {
+  /// Analytic when both templates are regular, Indexed otherwise.
+  Auto,
+  /// The reference nested patch-pair loops (with bounding-box peer
+  /// pruning): O(peers · P_mine · P_theirs).
+  Naive,
+  /// Per-rank sorted spatial index (Descriptor::spatial_index): each local
+  /// patch finds overlapping peer patches by binary search + bounded sweep,
+  /// then pairs are re-sorted into the canonical nesting.
+  Indexed,
+  /// Regular templates only: per-axis interval overlaps in closed form
+  /// (dad::axis_overlaps), crossed into regions directly in canonical
+  /// order. Near-independent of array extent on block/cyclic/block-cyclic
+  /// axes: O(output) per peer plus a small additive term.
+  Analytic,
+};
+
 /// Build the local schedule for a rank holding source rank `my_src_rank`
 /// (or -1 if not in the source cohort) and destination rank `my_dst_rank`
 /// (or -1). The descriptors must describe the same global index space;
 /// every source element reaches exactly the destination rank(s) owning the
 /// same global point.
-/// `prune` skips peer ranks whose patch bounding box cannot overlap this
-/// rank's (an exactness-preserving fast path; exposed so the ablation bench
-/// can measure what it buys).
+RegionSchedule build_region_schedule(const Descriptor& src,
+                                     const Descriptor& dst, int my_src_rank,
+                                     int my_dst_rank, BuildPath path);
+
+/// Back-compat entry point. `prune = true` is BuildPath::Auto; `prune =
+/// false` is the naive reference with bounding-box pruning disabled too —
+/// the ground truth the differential tests compare every fast path against.
 RegionSchedule build_region_schedule(const Descriptor& src,
                                      const Descriptor& dst, int my_src_rank,
                                      int my_dst_rank, bool prune = true);

@@ -426,6 +426,58 @@ TEST(ScheduleCache, HitsOnRepeatAndConformingArrays) {
   EXPECT_EQ(cache.misses(), 2u);
 }
 
+TEST(ScheduleCache, StatsReportPerEntryBuildTime) {
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::block(48, 3)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(48, 4)});
+  sched::ScheduleCache cache;
+  cache.get(src, dst, 0, -1);
+  cache.get(src, dst, 1, -1);
+  cache.get(src, dst, 0, -1);  // hit; must not add an entry
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  ASSERT_EQ(stats.entries.size(), 2u);
+  for (const auto& e : stats.entries) {
+    EXPECT_GT(e.build_ns, 0);
+    EXPECT_GT(e.messages, 0u);
+    EXPECT_EQ(e.my_dst, -1);
+  }
+  EXPECT_GT(stats.total_build_ns, 0);
+}
+
+TEST(ScheduleCache, CacheHitReturnsFastPathSchedule) {
+  // The cache builds through the Auto path (analytic here); a hit must hand
+  // back the very same schedule, and it must equal the naive reference.
+  auto src = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(60, 3), AxisDist::block(20, 2)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{
+      AxisDist::block(60, 2), AxisDist::block_cyclic(20, 2, 3)});
+  sched::ScheduleCache cache;
+  const auto& built = cache.get(src, dst, 2, 1);
+  const auto& again = cache.get(src, dst, 2, 1);
+  EXPECT_EQ(&built, &again);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  const auto ref = sched::build_region_schedule(*src, *dst, 2, 1, false);
+  ASSERT_EQ(built.sends.size(), ref.sends.size());
+  ASSERT_EQ(built.recvs.size(), ref.recvs.size());
+  for (std::size_t k = 0; k < ref.sends.size(); ++k) {
+    EXPECT_EQ(built.sends[k].peer, ref.sends[k].peer);
+    EXPECT_EQ(built.sends[k].elements, ref.sends[k].elements);
+    ASSERT_EQ(built.sends[k].regions.size(), ref.sends[k].regions.size());
+    for (std::size_t i = 0; i < ref.sends[k].regions.size(); ++i)
+      EXPECT_EQ(built.sends[k].regions[i], ref.sends[k].regions[i]);
+  }
+  for (std::size_t k = 0; k < ref.recvs.size(); ++k) {
+    EXPECT_EQ(built.recvs[k].peer, ref.recvs[k].peer);
+    EXPECT_EQ(built.recvs[k].elements, ref.recvs[k].elements);
+    ASSERT_EQ(built.recvs[k].regions.size(), ref.recvs[k].regions.size());
+    for (std::size_t i = 0; i < ref.recvs[k].regions.size(); ++i)
+      EXPECT_EQ(built.recvs[k].regions[i], ref.recvs[k].regions[i]);
+  }
+}
+
 TEST(ScheduleCache, StructuralHashMatchesEquality) {
   auto a = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2),
                                                    AxisDist::cyclic(10, 3)});

@@ -1,0 +1,334 @@
+// Differential tests for the schedule fast paths: every build path
+// (Naive with pruning, Indexed, Analytic, and Auto) must produce a schedule
+// element-for-element identical — same peers, same canonical region order,
+// same element counts — to the retained naive no-prune reference, across a
+// randomized sweep of distribution kinds, dimensionalities and cohort
+// sizes. Plus global conservation (sum of sends == sum of recvs == global
+// volume) and a differential check of the segment-schedule rewrite against
+// the per-peer footprint + intersect formulation it replaced.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "linear/linearization.hpp"
+#include "sched/schedule.hpp"
+#include "trace/trace.hpp"
+
+namespace dad = mxn::dad;
+namespace lin = mxn::linear;
+namespace sched = mxn::sched;
+using dad::AxisDist;
+using dad::Descriptor;
+using dad::DescriptorPtr;
+using dad::Index;
+using dad::Point;
+
+namespace {
+
+using Rng = std::mt19937;
+
+int rand_int(Rng& rng, int lo, int hi) {  // inclusive
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+/// Random distribution for one axis of `extent` over `nprocs` grid coords,
+/// covering every AxisKind.
+AxisDist random_axis(Rng& rng, Index extent, int nprocs) {
+  if (nprocs == 1 && rand_int(rng, 0, 1) == 0)
+    return AxisDist::collapsed(extent);
+  switch (rand_int(rng, 0, 3)) {
+    case 0:
+      return AxisDist::block(extent, nprocs);
+    case 1:
+      return AxisDist::cyclic(extent, nprocs);
+    case 2:
+      return AxisDist::block_cyclic(
+          extent, nprocs, rand_int(rng, 1, static_cast<int>(extent) / 2 + 1));
+    default: {
+      if (rand_int(rng, 0, 1) == 0) {
+        // Generalized block: random positive sizes summing to extent.
+        std::vector<Index> sizes(static_cast<std::size_t>(nprocs), 1);
+        Index rest = extent - nprocs;
+        for (int i = 0; i + 1 < nprocs && rest > 0; ++i) {
+          const Index take = rand_int(rng, 0, static_cast<int>(rest));
+          sizes[static_cast<std::size_t>(i)] += take;
+          rest -= take;
+        }
+        sizes.back() += rest;
+        return AxisDist::generalized_block(std::move(sizes));
+      }
+      // Implicit: arbitrary owner per index.
+      std::vector<int> owners(static_cast<std::size_t>(extent));
+      for (auto& o : owners) o = rand_int(rng, 0, nprocs - 1);
+      return AxisDist::implicit(std::move(owners), nprocs);
+    }
+  }
+}
+
+/// Random factorization of `nranks` into `ndim` per-axis grid sizes.
+std::vector<int> random_grid(Rng& rng, int ndim, int nranks) {
+  std::vector<int> g(static_cast<std::size_t>(ndim), 1);
+  int rest = nranks;
+  for (int a = 0; a < ndim - 1; ++a) {
+    std::vector<int> divs;
+    for (int d = 1; d <= rest; ++d)
+      if (rest % d == 0) divs.push_back(d);
+    g[static_cast<std::size_t>(a)] =
+        divs[static_cast<std::size_t>(rand_int(rng, 0, static_cast<int>(divs.size()) - 1))];
+    rest /= g[static_cast<std::size_t>(a)];
+  }
+  g[static_cast<std::size_t>(ndim - 1)] = rest;
+  std::shuffle(g.begin(), g.end(), rng);
+  return g;
+}
+
+DescriptorPtr random_regular(Rng& rng, int ndim, int nranks,
+                             const Point& extents) {
+  const auto grid = random_grid(rng, ndim, nranks);
+  std::vector<AxisDist> axes;
+  for (int a = 0; a < ndim; ++a)
+    axes.push_back(
+        random_axis(rng, extents[a], grid[static_cast<std::size_t>(a)]));
+  return dad::make_regular(std::move(axes));
+}
+
+/// Explicit descriptor with the same patch geometry as `reg` but owners
+/// permuted — exercises the explicit/indexed path with a guaranteed exact
+/// cover.
+DescriptorPtr explicit_from(Rng& rng, const Descriptor& reg) {
+  std::vector<int> perm(static_cast<std::size_t>(reg.nranks()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<dad::OwnedPatch> patches;
+  for (int r = 0; r < reg.nranks(); ++r)
+    for (const auto& p : reg.patches_of(r))
+      patches.push_back({p, perm[static_cast<std::size_t>(r)]});
+  return dad::make_explicit(reg.ndim(), reg.extents(), std::move(patches),
+                            reg.nranks());
+}
+
+DescriptorPtr random_descriptor(Rng& rng, int ndim, int nranks,
+                                const Point& extents) {
+  auto reg = random_regular(rng, ndim, nranks, extents);
+  if (rand_int(rng, 0, 3) == 0) return explicit_from(rng, *reg);
+  return reg;
+}
+
+void expect_identical(const sched::RegionSchedule& got,
+                      const sched::RegionSchedule& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.sends.size(), want.sends.size()) << label;
+  ASSERT_EQ(got.recvs.size(), want.recvs.size()) << label;
+  for (std::size_t k = 0; k < want.sends.size(); ++k) {
+    EXPECT_EQ(got.sends[k].peer, want.sends[k].peer) << label << " send " << k;
+    EXPECT_EQ(got.sends[k].elements, want.sends[k].elements)
+        << label << " send " << k;
+    ASSERT_EQ(got.sends[k].regions.size(), want.sends[k].regions.size())
+        << label << " send " << k;
+    for (std::size_t i = 0; i < want.sends[k].regions.size(); ++i)
+      ASSERT_EQ(got.sends[k].regions[i], want.sends[k].regions[i])
+          << label << " send " << k << " region " << i;
+  }
+  for (std::size_t k = 0; k < want.recvs.size(); ++k) {
+    EXPECT_EQ(got.recvs[k].peer, want.recvs[k].peer) << label << " recv " << k;
+    EXPECT_EQ(got.recvs[k].elements, want.recvs[k].elements)
+        << label << " recv " << k;
+    ASSERT_EQ(got.recvs[k].regions.size(), want.recvs[k].regions.size())
+        << label << " recv " << k;
+    for (std::size_t i = 0; i < want.recvs[k].regions.size(); ++i)
+      ASSERT_EQ(got.recvs[k].regions[i], want.recvs[k].regions[i])
+          << label << " recv " << k << " region " << i;
+  }
+}
+
+struct Cohorts {
+  int m;
+  int n;
+};
+constexpr Cohorts kCohorts[] = {{4, 3}, {8, 2}, {16, 16}};
+
+Point extents_for(Rng& rng, int ndim) {
+  // Small enough that the naive reference stays cheap, large enough to
+  // produce multi-interval cyclic/block-cyclic patch sets.
+  Point e{};
+  for (int a = 0; a < ndim; ++a)
+    e[a] = rand_int(rng, 17, ndim == 3 ? 24 : 40);
+  return e;
+}
+
+}  // namespace
+
+TEST(ScheduleDiff, AllPathsMatchNaiveReferenceAcrossRandomSweep) {
+  Rng rng(20260806);
+  for (const auto& co : kCohorts) {
+    for (int ndim = 1; ndim <= 3; ++ndim) {
+      for (int trial = 0; trial < 3; ++trial) {
+        const Point extents = extents_for(rng, ndim);
+        const auto src = random_descriptor(rng, ndim, co.m, extents);
+        const auto dst = random_descriptor(rng, ndim, co.n, extents);
+        const bool regular = !src->is_explicit() && !dst->is_explicit();
+        const std::string tag = src->to_string() + " -> " + dst->to_string();
+
+        // Every rank of both cohorts, both roles at once where they overlap.
+        const int rmax = std::max(co.m, co.n);
+        for (int r = 0; r < rmax; ++r) {
+          const int ms = r < co.m ? r : -1;
+          const int md = r < co.n ? r : -1;
+          const auto ref =
+              sched::build_region_schedule(*src, *dst, ms, md, false);
+          expect_identical(sched::build_region_schedule(
+                               *src, *dst, ms, md, sched::BuildPath::Naive),
+                           ref, tag + " [naive+prune r" + std::to_string(r));
+          expect_identical(sched::build_region_schedule(
+                               *src, *dst, ms, md, sched::BuildPath::Indexed),
+                           ref, tag + " [indexed r" + std::to_string(r));
+          expect_identical(
+              sched::build_region_schedule(*src, *dst, ms, md,
+                                           sched::BuildPath::Auto),
+              ref, tag + " [auto r" + std::to_string(r));
+          if (regular)
+            expect_identical(
+                sched::build_region_schedule(*src, *dst, ms, md,
+                                             sched::BuildPath::Analytic),
+                ref, tag + " [analytic r" + std::to_string(r));
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleDiff, GlobalConservationEveryDistributionKind) {
+  Rng rng(987654321);
+  for (const auto& co : kCohorts) {
+    for (int ndim = 1; ndim <= 3; ++ndim) {
+      const Point extents = extents_for(rng, ndim);
+      const auto src = random_descriptor(rng, ndim, co.m, extents);
+      const auto dst = random_descriptor(rng, ndim, co.n, extents);
+      const Index volume = src->total_volume();
+      ASSERT_EQ(volume, dst->total_volume());
+
+      Index sent = 0, received = 0;
+      for (int s = 0; s < co.m; ++s)
+        sent += sched::build_region_schedule(*src, *dst, s, -1).send_elements();
+      for (int d = 0; d < co.n; ++d)
+        received +=
+            sched::build_region_schedule(*src, *dst, -1, d).recv_elements();
+      EXPECT_EQ(sent, volume) << src->to_string() << " -> " << dst->to_string();
+      EXPECT_EQ(received, volume)
+          << src->to_string() << " -> " << dst->to_string();
+    }
+  }
+}
+
+TEST(ScheduleDiff, SegmentScheduleMatchesPerPeerIntersection) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int ndim = rand_int(rng, 1, 3);
+    const Point extents = extents_for(rng, ndim);
+    const auto src = random_descriptor(rng, ndim, 6, extents);
+    const auto dst = random_descriptor(rng, ndim, 4, extents);
+    const auto src_lin = rand_int(rng, 0, 1) == 0
+                             ? lin::Linearization::row_major(ndim, extents)
+                             : lin::Linearization::column_major(ndim, extents);
+    const auto dst_lin = rand_int(rng, 0, 1) == 0
+                             ? lin::Linearization::row_major(ndim, extents)
+                             : lin::Linearization::column_major(ndim, extents);
+
+    for (int r = 0; r < 6; ++r) {
+      const int ms = r;
+      const int md = r < 4 ? r : -1;
+      const auto got =
+          sched::build_segment_schedule(*src, src_lin, *dst, dst_lin, ms, md);
+
+      // Reference: the per-peer footprint + intersect formulation.
+      sched::SegmentSchedule want;
+      const auto mine_s = lin::footprint(*src, ms, src_lin);
+      for (int d = 0; d < dst->nranks(); ++d) {
+        auto common = lin::intersect(mine_s, lin::footprint(*dst, d, dst_lin));
+        if (common.empty()) continue;
+        sched::PeerSegments ps;
+        ps.peer = d;
+        ps.elements = lin::total_length(common);
+        ps.segs = std::move(common);
+        want.sends.push_back(std::move(ps));
+      }
+      if (md >= 0) {
+        const auto mine_d = lin::footprint(*dst, md, dst_lin);
+        for (int s = 0; s < src->nranks(); ++s) {
+          auto common =
+              lin::intersect(lin::footprint(*src, s, src_lin), mine_d);
+          if (common.empty()) continue;
+          sched::PeerSegments ps;
+          ps.peer = s;
+          ps.elements = lin::total_length(common);
+          ps.segs = std::move(common);
+          want.recvs.push_back(std::move(ps));
+        }
+      }
+
+      ASSERT_EQ(got.sends.size(), want.sends.size());
+      ASSERT_EQ(got.recvs.size(), want.recvs.size());
+      for (std::size_t k = 0; k < want.sends.size(); ++k) {
+        EXPECT_EQ(got.sends[k].peer, want.sends[k].peer);
+        EXPECT_EQ(got.sends[k].elements, want.sends[k].elements);
+        EXPECT_EQ(got.sends[k].segs, want.sends[k].segs);
+      }
+      for (std::size_t k = 0; k < want.recvs.size(); ++k) {
+        EXPECT_EQ(got.recvs[k].peer, want.recvs[k].peer);
+        EXPECT_EQ(got.recvs[k].elements, want.recvs[k].elements);
+        EXPECT_EQ(got.recvs[k].segs, want.recvs[k].segs);
+      }
+    }
+  }
+}
+
+TEST(ScheduleDiff, AnalyticPathRejectsExplicitTemplates) {
+  Rng rng(7);
+  auto reg = random_regular(rng, 2, 4, Point{12, 12, 0, 0});
+  auto exp = explicit_from(rng, *reg);
+  EXPECT_THROW(sched::build_region_schedule(*exp, *reg, 0, 0,
+                                            sched::BuildPath::Analytic),
+               mxn::rt::UsageError);
+  EXPECT_THROW(sched::build_region_schedule(*reg, *exp, 0, 0,
+                                            sched::BuildPath::Analytic),
+               mxn::rt::UsageError);
+}
+
+TEST(ScheduleDiff, FastPathCountersAdvance) {
+  auto a = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(64, 4)});
+  auto b = dad::make_regular(std::vector<AxisDist>{AxisDist::block(64, 3)});
+
+  const auto fast0 = mxn::trace::counter("sched.fastpath.hits").value();
+  (void)sched::build_region_schedule(*a, *b, 0, 0, sched::BuildPath::Analytic);
+  EXPECT_GT(mxn::trace::counter("sched.fastpath.hits").value(), fast0);
+
+  const auto idx0 = mxn::trace::counter("sched.index.hits").value();
+  const auto builds0 = mxn::trace::counter("sched.index.builds").value();
+  (void)sched::build_region_schedule(*a, *b, 0, 0, sched::BuildPath::Indexed);
+  EXPECT_GT(mxn::trace::counter("sched.index.hits").value(), idx0);
+  EXPECT_GT(mxn::trace::counter("sched.index.builds").value(), builds0);
+  // The spatial index is memoized per descriptor: a second indexed build
+  // reuses it.
+  const auto builds1 = mxn::trace::counter("sched.index.builds").value();
+  (void)sched::build_region_schedule(*a, *b, 0, 0, sched::BuildPath::Indexed);
+  EXPECT_EQ(mxn::trace::counter("sched.index.builds").value(), builds1);
+}
+
+TEST(ScheduleDiff, FootprintCacheHitsOnRepeatedSegmentBuilds) {
+  auto src = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(96, 6)});
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::block(96, 4)});
+  const auto l = lin::Linearization::row_major(1, Point{96, 0, 0, 0});
+
+  lin::footprint_cache_clear();
+  (void)sched::build_segment_schedule(*src, l, *dst, l, 0, 0);
+  const auto first = lin::footprint_cache_stats();
+  EXPECT_GT(first.misses, 0u);
+  (void)sched::build_segment_schedule(*src, l, *dst, l, 1, 1);
+  const auto second = lin::footprint_cache_stats();
+  // The first build's ownership maps already cached every rank's footprint
+  // on both sides, so the second rank's build is served entirely from cache.
+  EXPECT_GT(second.hits, first.hits);
+  EXPECT_EQ(second.misses, first.misses);
+}
