@@ -1,0 +1,303 @@
+// Elastic rescaling cost (docs/RESCALING.md, docs/PERFORMANCE.md).
+//
+// Two questions, on a 12-rank channel coupling a 600×80 double field:
+//
+//  1. What does one live rescale cost? The acceptance sequence
+//     4×3 → 6×2 → 2×5 (→ back to 4×3) is driven with a persistent
+//     connection established and per-transition wall time, fence stall,
+//     migrated/local bytes and migration retries are reported.
+//
+//  2. Does rescaling leave residue? A steady-state data_ready phase on the
+//     4×3 layout runs before any rescale (pre) and again after the
+//     component has been rescaled through the full cycle back to 4×3
+//     (post), within ONE run. The CI regression gate is DETERMINISTIC, in
+//     the style of the other bench gates (counted, not timed): the post
+//     phase must issue exactly the same wire messages per iteration as the
+//     pre phase (steady_state.ratio == pre/post message count, gated
+//     >= 0.8) and must run entirely on schedule-cache hits (zero misses).
+//     A leaked cache generation, a desynchronized attempt serial forcing
+//     resends, or a stale coupling would all show up here. Wall-clock
+//     latencies (best-of-kReps) are reported for the table and
+//     PERFORMANCE.md but not gated — all ranks are threads sharing an
+//     oversubscribed CI core, so timing swings run to run.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/mxn_component.hpp"
+#include "rt/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace core = mxn::core;
+namespace dad = mxn::dad;
+namespace rt = mxn::rt;
+namespace trace = mxn::trace;
+using dad::AxisDist;
+using dad::Point;
+
+namespace {
+
+constexpr int kWorld = 12;
+constexpr dad::Index kRows = 600;
+constexpr dad::Index kCols = 80;
+constexpr int kIters = 30;  // data_ready iterations per timed repetition
+constexpr int kReps = 8;    // repetitions per phase; best (min) is reported
+
+double value_at(const Point& p) { return 7.0 * p[0] + p[1]; }
+
+dad::DescriptorPtr desc_for(int s, int n) {
+  if (s == 0)
+    return dad::make_regular(
+        std::vector<AxisDist>{AxisDist::block(kRows, n),
+                              AxisDist::collapsed(kCols)});
+  return dad::make_regular(std::vector<AxisDist>{
+      AxisDist::cyclic(kRows, n), AxisDist::collapsed(kCols)});
+}
+
+int index_in(const std::vector<int>& ranks, int r) {
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    if (ranks[i] == r) return static_cast<int>(i);
+  return -1;
+}
+
+const std::vector<core::Layout> kLayouts = {
+    {{0, 1, 2, 3}, {4, 5, 6}},     // 4×3, spectators 7–11
+    {{0, 1, 2, 3, 4, 5}, {6, 7}},  // 6×2
+    {{10, 11}, {2, 3, 4, 5, 6}},   // 2×5
+    {{0, 1, 2, 3}, {4, 5, 6}},     // back to 4×3 for the residue check
+};
+
+struct Transition {
+  std::string name;
+  double wall_ms = 0;          // rank-0 wall time of the collective rescale
+  double stall_ms = 0;         // summed fence wait across all 12 ranks
+  std::uint64_t migrated = 0;  // bytes moved over the channel
+  std::uint64_t local = 0;     // bytes moved by the same-rank fast path
+  std::uint64_t retries = 0;   // migration attempts retried
+};
+
+struct Numbers {
+  double baseline_us = 0;  // best-rep mean data_ready, never rescaled
+  double pre_us = 0;       // best-rep mean on 4×3 before any rescale
+  double steady_us = 0;    // best-rep mean on 4×3 after the full cycle
+  std::uint64_t pre_msgs = 0;    // wire messages over the pre timed phase
+  std::uint64_t post_msgs = 0;   // ... over the post timed phase (== pre)
+  std::uint64_t post_misses = 0; // schedule-cache misses in the post phase
+  std::vector<Transition> transitions;
+};
+
+/// Best-of-kReps mean per-iteration wall time of `kIters` collective
+/// data_ready rounds, measured on rank 0 between barriers. Ranks on neither
+/// side sit out the call but join the barriers. The minimum over
+/// repetitions is the phase's number: all "ranks" are threads sharing the
+/// host's cores, so any single repetition can be inflated severalfold by
+/// scheduler noise — the best case is the stable, comparable statistic
+/// (and the steady-state CI gate is a ratio of two such best cases).
+double timed_phase(rt::Communicator& world, core::MxNComponent& comp,
+                   int side) {
+  double best = 0;
+  for (int r = 0; r < kReps; ++r) {
+    world.barrier();
+    const double t0 = bench::now_s();
+    for (int i = 0; i < kIters; ++i)
+      if (side >= 0) comp.data_ready("f");
+    world.barrier();
+    const double per_iter = (bench::now_s() - t0) / kIters;
+    if (r == 0 || per_iter < best) best = per_iter;
+  }
+  return best;
+}
+
+/// The shared per-rank epoch driver: (re)allocate this rank's slice of the
+/// field for `layout` and return the registration list rescale() expects.
+std::vector<core::FieldRegistration> regs_for(
+    const core::Layout& layout, int me,
+    std::unique_ptr<dad::DistArray<double>>& arr) {
+  const int side = layout.side_of(me);
+  std::vector<core::FieldRegistration> regs;
+  if (side >= 0) {
+    const auto& ranks = layout.side(side);
+    arr = std::make_unique<dad::DistArray<double>>(
+        desc_for(side, static_cast<int>(ranks.size())), index_in(ranks, me));
+    regs.push_back(
+        core::make_field("f", arr.get(), core::AccessMode::ReadWrite));
+  } else {
+    arr.reset();
+  }
+  return regs;
+}
+
+Numbers run_all() {
+  Numbers out;
+  rt::SpawnOptions opts;
+  opts.deadlock_timeout_ms = 60000;
+
+  // Baseline: fixed 4×3, no rescale ever.
+  rt::spawn(kWorld, [&](rt::Communicator& world) {
+    const int me = world.rank();
+    auto comp = core::make_elastic_mxn(world, kLayouts[0]);
+    const int side = kLayouts[0].side_of(me);
+    std::unique_ptr<dad::DistArray<double>> arr;
+    auto regs = regs_for(kLayouts[0], me, arr);
+    if (side == 0) arr->fill(value_at);
+    for (auto& r : regs) comp->register_field(r);
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "f";
+    spec.src_side = 0;
+    spec.one_shot = false;
+    comp->establish(spec);
+    timed_phase(world, *comp, side);  // warm the schedule cache
+    const double us = timed_phase(world, *comp, side) * 1e6;
+    if (me == 0) out.baseline_us = us;
+  }, opts);
+
+  // Rescale run: 4×3 → 6×2 → 2×5 → 4×3 with timed steady phases at the
+  // two 4×3 endpoints and per-transition cost in between.
+  out.transitions.resize(kLayouts.size() - 1);
+  rt::spawn(kWorld, [&](rt::Communicator& world) {
+    const int me = world.rank();
+    auto comp = core::make_elastic_mxn(world, kLayouts[0]);
+    int side = kLayouts[0].side_of(me);
+    std::unique_ptr<dad::DistArray<double>> arr;
+    auto regs = regs_for(kLayouts[0], me, arr);
+    if (side == 0) arr->fill(value_at);
+    for (auto& r : regs) comp->register_field(r);
+    core::ConnectionSpec spec;
+    spec.src_field = spec.dst_field = "f";
+    spec.src_side = 0;
+    spec.one_shot = false;
+    comp->establish(spec);
+
+    timed_phase(world, *comp, side);  // warm-up
+    const auto pre_snap = world.stats();
+    const double pre = timed_phase(world, *comp, side) * 1e6;
+    if (me == 0) {
+      out.pre_us = pre;
+      out.pre_msgs = world.stats().messages - pre_snap.messages;
+    }
+
+    for (std::size_t e = 0; e + 1 < kLayouts.size(); ++e) {
+      const core::Layout& next = kLayouts[e + 1];
+      world.barrier();
+      const double t0 = bench::now_s();
+      const auto stall0 = trace::counter("rescale.stall_ns").value();
+      const auto mig0 = trace::counter("rescale.migrated_bytes").value();
+      const auto loc0 = trace::counter("rescale.local_bytes").value();
+      const auto ret0 = trace::counter("rescale.retries").value();
+      std::unique_ptr<dad::DistArray<double>> nextarr;
+      comp->rescale(next, regs_for(next, me, nextarr));
+      arr = std::move(nextarr);
+      side = next.side_of(me);
+      world.barrier();
+      if (me == 0) {
+        Transition& tr = out.transitions[e];
+        tr.name = std::to_string(kLayouts[e].side0.size()) + "x" +
+                  std::to_string(kLayouts[e].side1.size()) + "->" +
+                  std::to_string(next.side0.size()) + "x" +
+                  std::to_string(next.side1.size());
+        tr.wall_ms = (bench::now_s() - t0) * 1e3;
+        tr.stall_ms =
+            (trace::counter("rescale.stall_ns").value() - stall0) / 1e6;
+        tr.migrated = trace::counter("rescale.migrated_bytes").value() - mig0;
+        tr.local = trace::counter("rescale.local_bytes").value() - loc0;
+        tr.retries = trace::counter("rescale.retries").value() - ret0;
+      }
+      // One transfer per epoch keeps the stream "live" between rescales.
+      if (side >= 0) comp->data_ready("f");
+    }
+
+    timed_phase(world, *comp, side);  // re-warm on the restored layout
+    const auto post_snap = world.stats();
+    const auto miss0 = trace::counter("sched.cache.misses").value();
+    const double steady = timed_phase(world, *comp, side) * 1e6;
+    if (me == 0) {
+      out.steady_us = steady;
+      out.post_msgs = world.stats().messages - post_snap.messages;
+      out.post_misses = trace::counter("sched.cache.misses").value() - miss0;
+    }
+  }, opts);
+
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  trace::set_enabled(true);
+  std::printf("=== Elastic rescale: 12 ranks, %lldx%lld doubles, "
+              "4x3 -> 6x2 -> 2x5 -> 4x3 ===\n",
+              static_cast<long long>(kRows), static_cast<long long>(kCols));
+
+  const Numbers n = run_all();
+
+  bench::Table t({"transition", "wall_ms", "fence_stall_ms_sum",
+                  "migrated_bytes", "local_bytes", "retries"});
+  for (const auto& tr : n.transitions)
+    t.row({tr.name, bench::fmt("%.2f", tr.wall_ms),
+           bench::fmt("%.2f", tr.stall_ms), std::to_string(tr.migrated),
+           std::to_string(tr.local), std::to_string(tr.retries)});
+  t.print();
+
+  const double ratio =
+      n.post_msgs > 0 ? static_cast<double>(n.pre_msgs) /
+                            static_cast<double>(n.post_msgs)
+                      : 0.0;
+  const double wall_ratio = n.steady_us > 0 ? n.pre_us / n.steady_us : 0.0;
+  std::printf("\nsteady-state data_ready (4x3, best of %d x %d iters): "
+              "baseline %.1f us, pre-rescale %.1f us, post-cycle %.1f us "
+              "(wall ratio %.3f)\n",
+              kReps, kIters, n.baseline_us, n.pre_us, n.steady_us,
+              wall_ratio);
+  std::printf("steady-state wire traffic: pre %llu msgs, post %llu msgs, "
+              "ratio %.3f; post-phase schedule-cache misses: %llu\n",
+              static_cast<unsigned long long>(n.pre_msgs),
+              static_cast<unsigned long long>(n.post_msgs), ratio,
+              static_cast<unsigned long long>(n.post_misses));
+  std::printf("Shape check: migration moves each field once per rescale "
+              "(bytes ~ field size), and the post-cycle steady state issues "
+              "exactly the pre-rescale wire traffic on pure cache hits — "
+              "rescaling leaves no residue in the schedule cache, couplings "
+              "or attempt serials. (Message counts are deterministic; wall "
+              "times swing with host load and are informational.)\n");
+
+  std::FILE* f = std::fopen("BENCH_rescale.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_rescale.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"rescale\",\n"
+                  "  \"world\": %d,\n  \"field\": [%lld, %lld],\n"
+                  "  \"iters\": %d,\n  \"reps\": %d,\n"
+                  "  \"transitions\": [\n",
+               kWorld, static_cast<long long>(kRows),
+               static_cast<long long>(kCols), kIters, kReps);
+  for (std::size_t i = 0; i < n.transitions.size(); ++i) {
+    const auto& tr = n.transitions[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+        "\"fence_stall_ms_sum\": %.3f, \"migrated_bytes\": %llu, "
+        "\"local_bytes\": %llu, \"retries\": %llu}%s\n",
+        tr.name.c_str(), tr.wall_ms, tr.stall_ms,
+        static_cast<unsigned long long>(tr.migrated),
+        static_cast<unsigned long long>(tr.local),
+        static_cast<unsigned long long>(tr.retries),
+        i + 1 < n.transitions.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"steady_state\": {\"baseline_us\": %.2f, "
+               "\"pre_rescale_us\": %.2f, \"post_cycle_us\": %.2f, "
+               "\"wall_ratio\": %.4f,\n"
+               "    \"pre_messages\": %llu, \"post_messages\": %llu, "
+               "\"post_cache_misses\": %llu, \"ratio\": %.4f}\n}\n",
+               n.baseline_us, n.pre_us, n.steady_us, wall_ratio,
+               static_cast<unsigned long long>(n.pre_msgs),
+               static_cast<unsigned long long>(n.post_msgs),
+               static_cast<unsigned long long>(n.post_misses), ratio);
+  std::fclose(f);
+  std::printf("Wrote BENCH_rescale.json\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Markdown link lint for the docs tree.
+
+Checks every inline link ``[text](target)`` in the given markdown files:
+
+* relative file targets must exist on disk (relative to the linking file);
+* ``file.md#anchor`` / ``#anchor`` fragments must match a heading in the
+  target file (GitHub slug rules: lowercase, punctuation stripped, spaces
+  to dashes);
+* ``http(s)://`` / ``mailto:`` targets are skipped — CI must not depend on
+  the network.
+
+Exits non-zero listing every broken link. Run locally as:
+
+    python3 scripts/check_markdown_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {slugify(h) for h in HEADING_RE.findall(body)}
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict) -> list:
+    errors = []
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(body):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve() if file_part else path
+        if not dest.exists():
+            errors.append(f"{path}: broken link target '{target}'")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in anchors_of(dest, cache):
+                errors.append(f"{path}: no heading for anchor '{target}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    cache = {}
+    errors = []
+    for name in argv:
+        errors += check_file(Path(name), cache)
+    for e in errors:
+        print(e)
+    print(f"checked {len(argv)} files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,69 @@
+#pragma once
+
+// Internal to mxn_core: the per-connection record and the channel tag plan,
+// shared by mxn_component.cpp (establishment, transfers) and rescale.cpp
+// (elastic re-establishment after a layout splice). Not a public header.
+
+#include <cstdint>
+
+#include "core/mxn_component.hpp"
+#include "sched/schedule.hpp"
+
+namespace mxn::core {
+
+namespace detail {
+
+// Channel tag plan: connection `seq` uses kConnBase + 4*seq + {0: data,
+// 1: ack, 2: descriptor exchange, 3: commit}; proposals travel on
+// kProposalTag. The `seq` counter advances identically on both sides
+// because establishment is collective across the pair (channel-collective
+// for elastic components).
+inline constexpr int kProposalTag = 900;
+inline constexpr int kConnBase = 1000;
+
+// Elastic migration tag block (docs/RESCALING.md): each (rescale epoch,
+// side, field) triple gets a fresh {data, ack, commit} triplet, cycling
+// within [kMigBase, kMigBase + 64*2*64*4) — far above any realistic
+// connection count's kConnBase stream and below the PRMI reservation
+// (tags >= 2^20). Fresh per-epoch tags keep duplicated stragglers of one
+// migration out of the next one's matched streams even before the attempt
+// serials discard them.
+inline constexpr int kMigBase = 600000;
+
+[[nodiscard]] inline int migration_tag_base(std::uint64_t epoch, int side,
+                                            std::size_t field_idx) {
+  return kMigBase +
+         static_cast<int>(((epoch % 64) * 2 + static_cast<std::uint64_t>(side)) *
+                              64 +
+                          field_idx % 64) *
+             4;
+}
+
+}  // namespace detail
+
+struct MxNComponent::Connection {
+  ConnectionSpec spec;
+  bool i_am_src = false;
+  bool i_am_dst = false;
+  const sched::RegionSchedule* schedule = nullptr;  // null on spectators
+  sched::Coupling coupling;
+  int seq = 0;
+  int src_calls = 0;
+  TransferStats stats;
+  bool retired = false;
+  // Reliable-mode attempt serial ("invocation epoch"): bumped at the start
+  // of every attempt, carried in every message, ratcheted forward when a
+  // peer is seen to have retried past us.
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] int data_tag() const { return detail::kConnBase + 4 * seq; }
+  [[nodiscard]] int ack_tag() const { return detail::kConnBase + 4 * seq + 1; }
+  [[nodiscard]] int desc_tag() const {
+    return detail::kConnBase + 4 * seq + 2;
+  }
+  [[nodiscard]] int commit_tag() const {
+    return detail::kConnBase + 4 * seq + 3;
+  }
+};
+
+}  // namespace mxn::core

@@ -4,48 +4,16 @@
 #include <cstring>
 #include <map>
 
+#include "core/connection_impl.hpp"
 #include "core/erased_exec.hpp"
+#include "core/reliable_exchange.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
 
 namespace mxn::core {
 
+using detail::kProposalTag;
 using rt::UsageError;
-
-namespace {
-
-// Channel tag plan: connection `seq` uses kConnBase + 4*seq + {0: data,
-// 1: ack, 2: descriptor exchange, 3: commit}; proposals travel on
-// kProposalTag. The `seq` counter advances identically on both sides
-// because establishment is collective across the pair.
-constexpr int kProposalTag = 900;
-constexpr int kConnBase = 1000;
-
-// Reliable-mode wire framing: every data/ack/commit payload starts with the
-// sender's 8-byte attempt serial (the "epoch"). Receivers discard anything
-// older than their own attempt — stale traffic from an aborted attempt is
-// consumed and dropped, never mistaken for the retry.
-constexpr std::size_t kSerialBytes = sizeof(std::uint64_t);
-
-std::uint64_t peek_serial(std::span<const std::byte> payload) {
-  if (payload.size() < kSerialBytes)
-    throw UsageError("reliable transfer message too short for its serial");
-  std::uint64_t s = 0;
-  std::memcpy(&s, payload.data(), kSerialBytes);
-  return s;
-}
-
-void put_serial(std::byte* out, std::uint64_t s) {
-  std::memcpy(out, &s, kSerialBytes);
-}
-
-std::vector<std::byte> serial_only(std::uint64_t s) {
-  std::vector<std::byte> b(kSerialBytes);
-  put_serial(b.data(), s);
-  return b;
-}
-
-}  // namespace
 
 void ConnectionSpec::pack(rt::PackBuffer& b) const {
   b.pack(src_field);
@@ -73,27 +41,6 @@ ConnectionSpec ConnectionSpec::unpack(rt::UnpackBuffer& u) {
   return s;
 }
 
-struct MxNComponent::Connection {
-  ConnectionSpec spec;
-  bool i_am_src = false;
-  bool i_am_dst = false;
-  const sched::RegionSchedule* schedule = nullptr;
-  sched::Coupling coupling;
-  int seq = 0;
-  int src_calls = 0;
-  TransferStats stats;
-  bool retired = false;
-  // Reliable-mode attempt serial ("invocation epoch"): bumped at the start
-  // of every attempt, carried in every message, ratcheted forward when a
-  // peer is seen to have retried past us.
-  std::uint64_t epoch = 0;
-
-  [[nodiscard]] int data_tag() const { return kConnBase + 4 * seq; }
-  [[nodiscard]] int ack_tag() const { return kConnBase + 4 * seq + 1; }
-  [[nodiscard]] int desc_tag() const { return kConnBase + 4 * seq + 2; }
-  [[nodiscard]] int commit_tag() const { return kConnBase + 4 * seq + 3; }
-};
-
 MxNComponent::MxNComponent(rt::Communicator channel, rt::Communicator cohort,
                            int side, std::vector<int> side0_ranks,
                            std::vector<int> side1_ranks)
@@ -114,6 +61,9 @@ void MxNComponent::set_services(Services& services) {
 }
 
 void MxNComponent::register_field(const FieldRegistration& field) {
+  if (elastic_ && side_ < 0)
+    throw UsageError("spectator ranks hold no data; fields are registered "
+                     "by side members only");
   if (field.name.empty()) throw UsageError("field name must not be empty");
   if (!field.descriptor) throw UsageError("field needs a descriptor");
   if (field.elem_size == 0) throw UsageError("field elem_size must be > 0");
@@ -140,10 +90,14 @@ const FieldRegistration& MxNComponent::field(const std::string& name) const {
 }
 
 ConnectionId MxNComponent::establish(const ConnectionSpec& spec) {
-  return establish_impl(spec);
+  return elastic_ ? establish_elastic(spec) : establish_impl(spec);
 }
 
 ConnectionId MxNComponent::propose(const ConnectionSpec& spec) {
+  if (elastic_)
+    throw UsageError("elastic components establish connections "
+                     "channel-collectively; propose/accept is a paired-mode "
+                     "mechanism");
   if (cohort_.rank() == 0) {
     rt::PackBuffer b;
     spec.pack(b);
@@ -154,6 +108,10 @@ ConnectionId MxNComponent::propose(const ConnectionSpec& spec) {
 }
 
 ConnectionId MxNComponent::accept_proposal() {
+  if (elastic_)
+    throw UsageError("elastic components establish connections "
+                     "channel-collectively; propose/accept is a paired-mode "
+                     "mechanism");
   rt::Buffer bytes;
   if (cohort_.rank() == 0) {
     auto msg = channel_.recv(side_ranks_[1 - side_][0], kProposalTag);
@@ -260,128 +218,29 @@ void MxNComponent::run_transfer_loose(Connection& c) {
   }
 }
 
-// One attempt of the two-phase reliable protocol (docs/FAULTS.md):
-//
-//   src: send [epoch|data] to each peer --> wait per-peer ack --> commit
-//   dst: stage [epoch|data] from each peer --> ack each --> wait commits
-//        --> inject the staged payloads
-//
-// Every message carries the sender's attempt serial; receivers consume and
-// DISCARD anything older than their own attempt (self-draining), and ratchet
-// forward when a peer has already retried past them. The destination injects
-// only after every source's commit, so a failed attempt — TimeoutError at
-// any of the waits — leaves the destination field untouched and the whole
-// attempt can simply be re-run. Returns false on a retryable timeout.
+// One attempt of the two-phase reliable protocol (docs/FAULTS.md), delegated
+// to the shared run_reliable_attempt — the same exchange that migrates
+// patches during an elastic rescale (rescale.cpp). Returns false on a
+// retryable timeout.
 bool MxNComponent::try_transfer_attempt(Connection& c) {
-  const FieldRegistration* src =
-      c.i_am_src ? &field(c.spec.src_field) : nullptr;
-  const FieldRegistration* dst =
-      c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
-  const sched::RegionSchedule& s = *c.schedule;
-  rt::Communicator channel = c.coupling.channel;
-  const int to = c.spec.timeout_ms;
-  ++c.epoch;
-  MovedCounts moved;
-  try {
-    if (c.i_am_src) {
-      for (const auto& pr : s.sends) {
-        const std::size_t nbytes =
-            kSerialBytes +
-            static_cast<std::size_t>(pr.elements) * src->elem_size;
-        rt::Buffer buf = rt::Buffer::allocate(nbytes);
-        std::byte* out = buf.mutable_data();
-        put_serial(out, c.epoch);
-        std::size_t off = kSerialBytes;
-        for (const auto& region : pr.regions) {
-          src->extract(region, out + off);
-          off += static_cast<std::size_t>(region.volume()) * src->elem_size;
-        }
-        rt::note_bytes_copied(nbytes);
-        moved.elements += static_cast<std::uint64_t>(pr.elements);
-        moved.bytes += nbytes - kSerialBytes;
-        channel.isend(c.coupling.dst_ranks.at(pr.peer), c.data_tag(),
-                      std::move(buf));
-      }
-      for (const auto& pr : s.sends) {
-        const int peer = c.coupling.dst_ranks.at(pr.peer);
-        for (;;) {
-          auto m = channel.recv(peer, c.ack_tag(), to);
-          if (peek_serial(m.payload) >= c.epoch) break;  // else: stale ack
-        }
-      }
-      // Every destination gets a reference to the same commit block.
-      const rt::Buffer commit = serial_only(c.epoch);
-      for (const auto& pr : s.sends)
-        channel.send(c.coupling.dst_ranks.at(pr.peer), c.commit_tag(),
-                     commit);
-    }
-    if (c.i_am_dst) {
-      // Phase 1: stage every peer's payload BEFORE acking anyone — a
-      // missing source (killed, dropped) therefore fails every participant
-      // of the transfer, not just the ranks wired to it, and nothing is
-      // injected yet so any failure below unwinds to the pre-transfer
-      // field state.
-      // Staging holds a reference to each arrived payload block (no copy),
-      // and stages in ARRIVAL order: an any-source matched receive takes
-      // whichever peer's payload lands first, so one slow source does not
-      // hold up validation of the others. The predicate only admits peers
-      // that still owe this attempt a payload; a stale serial is consumed
-      // and dropped, leaving its peer owed.
-      std::vector<rt::Buffer> staged(s.recvs.size());
-      std::vector<std::uint64_t> serials(s.recvs.size(), 0);
-      std::map<int, std::size_t> by_src;
-      for (std::size_t i = 0; i < s.recvs.size(); ++i)
-        by_src.emplace(c.coupling.src_ranks.at(s.recvs[i].peer), i);
-      const auto owed = [&](const rt::Message& m) {
-        const auto it = by_src.find(m.src);
-        return it != by_src.end() && staged[it->second].empty();
-      };
-      std::size_t outstanding = s.recvs.size();
-      while (outstanding > 0) {
-        auto m = channel.recv_matching(rt::kAnySource, c.data_tag(), owed, to);
-        const std::size_t i = by_src.at(m.src);
-        const auto& pr = s.recvs[i];
-        const std::uint64_t ser = peek_serial(m.payload);
-        if (ser < c.epoch) continue;  // stale attempt: drain and drop
-        if (ser > c.epoch) c.epoch = ser;
-        if (m.payload.size() - kSerialBytes !=
-            static_cast<std::size_t>(pr.elements) * dst->elem_size)
-          throw UsageError("reliable transfer payload size mismatch");
-        staged[i] = std::move(m.payload);
-        serials[i] = ser;
-        --outstanding;
-      }
-      for (std::size_t i = 0; i < s.recvs.size(); ++i)
-        channel.send(c.coupling.src_ranks.at(s.recvs[i].peer), c.ack_tag(),
-                     serial_only(serials[i]));
-      // Phase 2: wait for every source's commit, then inject.
-      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
-        const int peer = c.coupling.src_ranks.at(s.recvs[i].peer);
-        for (;;) {
-          auto m = channel.recv(peer, c.commit_tag(), to);
-          if (peek_serial(m.payload) >= serials[i]) break;
-        }
-      }
-      for (std::size_t i = 0; i < s.recvs.size(); ++i) {
-        const auto& pr = s.recvs[i];
-        std::size_t off = kSerialBytes;
-        for (const auto& region : pr.regions) {
-          dst->inject(region, staged[i].data() + off);
-          off += static_cast<std::size_t>(region.volume()) * dst->elem_size;
-        }
-        moved.elements += static_cast<std::uint64_t>(pr.elements);
-        moved.bytes += staged[i].size() - kSerialBytes;
-      }
-    }
-  } catch (const rt::TimeoutError&) {
-    return false;
-  }
-  c.stats.elements += moved.elements;
-  c.stats.bytes += moved.bytes;
+  ReliableExchange x;
+  x.schedule = c.schedule;
+  x.src = c.i_am_src ? &field(c.spec.src_field) : nullptr;
+  x.dst = c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
+  x.coupling = &c.coupling;
+  x.data_tag = c.data_tag();
+  x.ack_tag = c.ack_tag();
+  x.commit_tag = c.commit_tag();
+  x.timeout_ms = c.spec.timeout_ms;
+  x.serial = &c.epoch;
+  const auto moved = run_reliable_attempt(x);
+  if (!moved) return false;
+  c.stats.elements += moved->elements;
+  c.stats.bytes += moved->bytes;
   static trace::Counter& transfers = trace::counter("mxn.transfers");
   static trace::Counter& bytes = trace::counter("mxn.bytes");
   transfers.add(1);
-  bytes.add(moved.bytes);
+  bytes.add(moved->bytes);
   return true;
 }
 
@@ -410,6 +269,9 @@ void MxNComponent::run_transfer_reliable(Connection& c) {
 
 int MxNComponent::data_ready(const std::string& field_name) {
   trace::Span span("mxn.data_ready", "mxn");
+  if (elastic_ && side_ < 0)
+    throw UsageError("spectator ranks hold no data; data_ready is for side "
+                     "members only");
   // Require the field to exist, even if no connection currently moves it.
   (void)field(field_name);
   int moved = 0;
@@ -454,7 +316,7 @@ std::vector<std::byte> MxNComponent::checkpoint_fields() const {
   for (const auto& [name, f] : fields_)
     if (f.extract) ++count;
   b.pack(count);
-  const int me = cohort_.rank();
+  const int me = cohort_.is_null() ? -1 : cohort_.rank();  // spectator: 0 fields
   for (const auto& [name, f] : fields_) {
     if (!f.extract) continue;  // write-only fields cannot be checkpointed
     b.pack(name);
@@ -475,7 +337,7 @@ std::vector<std::byte> MxNComponent::checkpoint_fields() const {
 void MxNComponent::restore_fields(std::span<const std::byte> blob) {
   rt::UnpackBuffer u(blob);
   const auto count = u.unpack<std::uint64_t>();
-  const int me = cohort_.rank();
+  const int me = cohort_.is_null() ? -1 : cohort_.rank();  // spectator: 0 fields
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto name = u.unpack_string();
     auto data = u.unpack_vector<std::byte>();

@@ -65,6 +65,37 @@ struct TransferStats {
   std::uint64_t failures = 0;  // transfers abandoned after max_retries
 };
 
+/// Channel-rank layout of an elastic component's two sides: `side0[i]` /
+/// `side1[i]` is the channel rank holding cohort rank i of that side. Every
+/// channel rank on neither side is a *spectator* — it participates in the
+/// collective lifecycle calls (establish, rescale) but holds no fields and
+/// moves no data, and can be admitted into a side by a later rescale.
+struct Layout {
+  std::vector<int> side0;
+  std::vector<int> side1;
+
+  [[nodiscard]] const std::vector<int>& side(int s) const {
+    return s == 0 ? side0 : side1;
+  }
+  /// 0, 1, or -1 for a spectator.
+  [[nodiscard]] int side_of(int channel_rank) const;
+  /// Throws UsageError unless both sides are non-empty, disjoint,
+  /// duplicate-free and within [0, channel_size).
+  void validate(int channel_size) const;
+};
+
+/// Cumulative per-component rescale counters (also mirrored into the global
+/// trace registry as rescale.*). Byte counts are this rank's local view:
+/// senders count what they shipped, receivers what they staged.
+struct RescaleStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t migrated_bytes = 0;  // moved over the channel
+  std::uint64_t local_bytes = 0;     // same-rank fast path (extract→inject)
+  std::uint64_t retries = 0;         // migration attempts that were retried
+  std::int64_t stall_ns = 0;         // this rank's wait at the epoch fences
+  std::int64_t rescale_ns = 0;       // total wall time inside rescale()
+};
+
 /// A reliable transfer exhausted its retries without completing. The local
 /// destination field (if any) is untouched: payloads are staged and only
 /// injected after the commit phase. The connection stays established — the
@@ -140,6 +171,12 @@ class MxNComponent final : public Component, public MxNService {
   MxNComponent(rt::Communicator channel, rt::Communicator cohort, int side,
                std::vector<int> side0_ranks, std::vector<int> side1_ranks);
 
+  /// Elastic instance (docs/RESCALING.md): `side` is this rank's side under
+  /// `layout` (-1 for a spectator, whose `cohort` is the null communicator).
+  /// Prefer make_elastic_mxn, which derives cohort and side collectively.
+  MxNComponent(rt::Communicator channel, rt::Communicator cohort, int side,
+               Layout layout);
+
   // Component
   void set_services(Services& services) override;
 
@@ -158,15 +195,65 @@ class MxNComponent final : public Component, public MxNService {
 
   [[nodiscard]] int side() const { return side_; }
 
+  // --- elastic rescaling (docs/RESCALING.md) -------------------------------
+  /// Live repartition of this component onto `new_layout`, channel-collective
+  /// over EVERY channel rank (members of either side and spectators alike):
+  ///
+  ///  1. epoch fence — a channel barrier drains all in-flight traffic of the
+  ///     old epoch (collectivity means every rank has finished its pre-fence
+  ///     data_ready calls);
+  ///  2. migrate — for every registered field, an old→new delta schedule
+  ///     (sched::build_delta_schedule) moves each owned region from its old
+  ///     owner to its new one: same-rank regions by a local extract→inject,
+  ///     the rest over the channel via the two-phase reliable exchange on
+  ///     per-epoch migration tags (fault-tolerant: drop/dup/reorder/delay
+  ///     are absorbed by retries and attempt serials);
+  ///  3. splice — the side cohorts are rebuilt with Communicator::subset,
+  ///     admitting ranks that were spectators and retiring ranks that now
+  ///     are;
+  ///  4. swap — field registrations are replaced by `new_fields` (their
+  ///     descriptors stamped with the new epoch via Descriptor::with_version)
+  ///     and every live connection's coupling and schedule are rebuilt;
+  ///     only then is the previous epoch's schedule-cache generation retired.
+  ///
+  /// `new_fields` holds this rank's registrations for its NEW side — one per
+  /// currently registered field name of that side (a field name may be
+  /// omitted cohort-wide only when the side's rank list is unchanged, in
+  /// which case the old registration is kept and no migration runs for it).
+  /// Spectator ranks pass an empty vector. Migrated fields must be readable
+  /// on the old side and writable on the new one.
+  void rescale(const Layout& new_layout,
+               std::vector<FieldRegistration> new_fields, int timeout_ms = -1,
+               int max_retries = 2);
+
+  /// False on spectator ranks (elastic components only).
+  [[nodiscard]] bool is_member() const { return side_ >= 0; }
+  [[nodiscard]] bool elastic() const { return elastic_; }
+  /// Number of completed rescales (the current descriptor generation).
+  [[nodiscard]] std::uint64_t rescale_epoch() const { return repoch_; }
+  [[nodiscard]] const RescaleStats& rescale_stats() const { return rstats_; }
+  /// Current channel-rank layout: side(0) and side(1) of the live epoch.
+  [[nodiscard]] Layout layout() const { return {side_ranks_[0], side_ranks_[1]}; }
+
  private:
   struct Connection;
 
   const FieldRegistration& field(const std::string& name) const;
   ConnectionId establish_impl(const ConnectionSpec& spec);
+  ConnectionId establish_elastic(const ConnectionSpec& spec);
   void run_transfer(Connection& c);
   void run_transfer_loose(Connection& c);
   void run_transfer_reliable(Connection& c);
   bool try_transfer_attempt(Connection& c);
+  /// Channel-collective broadcast of a descriptor from `root_channel_rank`
+  /// (which packs `mine`; other ranks pass null and unpack the result).
+  dad::DescriptorPtr bcast_descriptor(int root_channel_rank,
+                                      const dad::DescriptorPtr& mine);
+  void migrate_side(int s, const Layout& old_layout, const Layout& new_layout,
+                    std::map<std::string, FieldRegistration>& incoming,
+                    std::map<std::string, FieldRegistration>& new_regs,
+                    int new_side, int timeout_ms, int max_retries);
+  void reestablish_connections();
 
   rt::Communicator channel_;
   rt::Communicator cohort_;
@@ -180,6 +267,10 @@ class MxNComponent final : public Component, public MxNService {
   // Pair-wide connection sequence number; advances identically on both
   // sides because establishment is collective across the pair.
   int seq_ = 0;
+
+  bool elastic_ = false;
+  std::uint64_t repoch_ = 0;
+  RescaleStats rstats_;
 };
 
 /// Wire a pair of MxN components across one world communicator: side 0 =
@@ -187,5 +278,12 @@ class MxNComponent final : public Component, public MxNService {
 /// instance (SPMD). Purely a convenience for tests, examples and benches.
 std::shared_ptr<MxNComponent> make_paired_mxn(rt::Communicator world, int m,
                                               int n);
+
+/// Wire an elastic pair over `channel` (docs/RESCALING.md): channel-collective
+/// — EVERY channel rank calls it with the same layout and gets an instance
+/// (spectator instances included), so the component can later rescale onto
+/// any subset of the channel.
+std::shared_ptr<MxNComponent> make_elastic_mxn(rt::Communicator channel,
+                                               Layout initial);
 
 }  // namespace mxn::core

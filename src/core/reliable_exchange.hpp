@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/erased_exec.hpp"
+
+namespace mxn::core {
+
+/// One parametrized instance of the two-phase reliable exchange
+/// (docs/FAULTS.md): the same wire protocol backs both reliable M×N
+/// connection transfers and the patch-migration step of an elastic rescale
+/// (docs/RESCALING.md). `src`/`dst` are this rank's roles — either may be
+/// null; with both set the rank sends and receives in the same attempt
+/// (self-coupling / overlap migration).
+struct ReliableExchange {
+  const sched::RegionSchedule* schedule = nullptr;
+  const FieldRegistration* src = nullptr;  // null: no send role here
+  const FieldRegistration* dst = nullptr;  // null: no receive role here
+  const sched::Coupling* coupling = nullptr;
+  int data_tag = 0;
+  int ack_tag = 0;
+  int commit_tag = 0;
+  /// Per-receive deadline (ms): < 0 inherits the spawn default, 0 waits
+  /// forever (retries then never trigger), > 0 recommended.
+  int timeout_ms = -1;
+  /// Attempt serial ("invocation epoch"), owned by the caller so it persists
+  /// across attempts: bumped at the start of every attempt, carried in every
+  /// message, ratcheted forward when a peer is seen to have retried past us.
+  std::uint64_t* serial = nullptr;
+};
+
+/// One attempt of the two-phase protocol:
+///
+///   src: send [serial|data] to each peer --> wait per-peer ack --> commit
+///   dst: stage [serial|data] from each peer --> ack each --> wait commits
+///        --> inject the staged payloads
+///
+/// Every message carries the sender's attempt serial; receivers consume and
+/// DISCARD anything older than their own attempt (self-draining), and
+/// ratchet forward when a peer has already retried past them. The
+/// destination injects only after every source's commit, so a failed
+/// attempt — TimeoutError at any of the waits — leaves the destination
+/// field untouched and the whole attempt can simply be re-run.
+///
+/// Returns the moved counts (this rank's sent + received payload bytes), or
+/// std::nullopt on a retryable timeout.
+std::optional<MovedCounts> run_reliable_attempt(const ReliableExchange& x);
+
+}  // namespace mxn::core

@@ -72,20 +72,29 @@ Descriptor Descriptor::explicit_patches(int ndim, const Point& extents,
   return d;
 }
 
-void Descriptor::finalize() {
+void Descriptor::rehash() {
   // Structural hash: FNV-1a over the canonical serialization, which covers
-  // exactly the fields operator== compares.
-  {
-    rt::PackBuffer b;
-    pack(b);
-    const auto bytes = std::move(b).take();
-    std::size_t h = 1469598103934665603ull;
-    for (std::byte c : bytes) {
-      h ^= static_cast<std::size_t>(c);
-      h *= 1099511628211ull;
-    }
-    hash_ = h;
+  // exactly the fields operator== compares (including the version stamp).
+  rt::PackBuffer b;
+  pack(b);
+  const auto bytes = std::move(b).take();
+  std::size_t h = 1469598103934665603ull;
+  for (std::byte c : bytes) {
+    h ^= static_cast<std::size_t>(c);
+    h *= 1099511628211ull;
   }
+  hash_ = h;
+}
+
+Descriptor Descriptor::with_version(std::uint64_t v) const {
+  Descriptor d = *this;  // derived tables and spatial index are shared/equal
+  d.version_ = v;
+  d.rehash();
+  return d;
+}
+
+void Descriptor::finalize() {
+  rehash();
   rank_patches_.assign(nranks_, {});
   if (explicit_) {
     for (const auto& op : all_patches_)
@@ -280,6 +289,7 @@ void Descriptor::pack(rt::PackBuffer& b) const {
     b.pack(static_cast<std::uint64_t>(axes_.size()));
     for (const auto& ax : axes_) ax.pack(b);
   }
+  b.pack(version_);
 }
 
 Descriptor Descriptor::unpack(rt::UnpackBuffer& u) {
@@ -298,18 +308,25 @@ Descriptor Descriptor::unpack(rt::UnpackBuffer& u) {
       op.owner = u.unpack<int>();
       patches.push_back(op);
     }
-    return explicit_patches(ndim, extents, std::move(patches), nranks);
+    Descriptor d =
+        explicit_patches(ndim, extents, std::move(patches), nranks);
+    d.version_ = u.unpack<std::uint64_t>();
+    if (d.version_ != 0) d.rehash();
+    return d;
   }
   const auto n = u.unpack<std::uint64_t>();
   std::vector<AxisDist> axes;
   axes.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) axes.push_back(AxisDist::unpack(u));
-  return regular(std::move(axes));
+  Descriptor d = regular(std::move(axes));
+  d.version_ = u.unpack<std::uint64_t>();
+  if (d.version_ != 0) d.rehash();
+  return d;
 }
 
 bool operator==(const Descriptor& a, const Descriptor& b) {
   if (a.explicit_ != b.explicit_ || a.ndim_ != b.ndim_ ||
-      a.nranks_ != b.nranks_)
+      a.nranks_ != b.nranks_ || a.version_ != b.version_)
     return false;
   for (int i = 0; i < a.ndim_; ++i)
     if (a.extents_[i] != b.extents_[i]) return false;

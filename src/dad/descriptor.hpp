@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -122,6 +123,18 @@ class Descriptor {
   /// same-shape templates can be coupled by redistribution.
   [[nodiscard]] bool same_shape(const Descriptor& other) const;
 
+  /// Lifecycle stamp for elastic components (docs/RESCALING.md): a rescale
+  /// re-registers fields under descriptors stamped with the new epoch, so
+  /// two epochs whose layouts happen to coincide still key distinct
+  /// ScheduleCache / footprint-cache generations. Version participates in
+  /// pack(), operator== and structural_hash(); 0 (the default) is the
+  /// pre-rescale generation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Copy of this descriptor stamped with `v` (distribution unchanged; the
+  /// lazily built spatial index is shared — same structure, same index).
+  [[nodiscard]] Descriptor with_version(std::uint64_t v) const;
+
   /// Hash of the full structural identity (kind, extents, axes / patch
   /// list): equal descriptors hash equally. Precomputed at construction, so
   /// lookups keyed by it (e.g. ScheduleCache) pay O(1) per query.
@@ -143,11 +156,13 @@ class Descriptor {
  private:
   Descriptor() = default;
   void finalize();  // builds rank_patches_, hash_, etc.
+  void rehash();    // recompute hash_ from the canonical serialization
 
   bool explicit_ = false;
   int ndim_ = 0;
   Point extents_{};
   int nranks_ = 0;
+  std::uint64_t version_ = 0;
   std::vector<AxisDist> axes_;            // regular only
   std::vector<OwnedPatch> all_patches_;   // explicit only
   std::size_t hash_ = 0;

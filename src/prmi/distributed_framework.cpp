@@ -218,6 +218,21 @@ int DistributedFramework::serve(const std::string& comp_name, int max_calls) {
   return served;
 }
 
+int DistributedFramework::drain(const std::string& comp_name) {
+  auto& provider = comp(comp_name);
+  if (!member_of(comp_name))
+    throw UsageError("drain: this process is not a member of '" + comp_name +
+                     "'");
+  const int tag = listen_tag(provider.index);
+  int served = 0;
+  bool shutdown = false;
+  while (!shutdown && world_.probe(rt::kAnySource, tag)) {
+    rt::Message msg = world_.recv(rt::kAnySource, tag);
+    if (dispatch(provider, std::move(msg), &shutdown)) ++served;
+  }
+  return served;
+}
+
 int DistributedFramework::serve_ordered(const std::string& comp_name,
                                         int max_calls) {
   auto& provider = comp(comp_name);

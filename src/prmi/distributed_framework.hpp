@@ -93,6 +93,15 @@ class DistributedFramework {
   /// not routable through an arbiter and are rejected.
   int serve_ordered(const std::string& comp, int max_calls = -1);
 
+  /// Provider side, non-blocking: dispatch every message already pending on
+  /// `comp`'s listen tag and return immediately. Counts like serve() —
+  /// deduplicated retransmissions are answered from the reply registry
+  /// without being counted (or re-executed). Lets a provider that has met
+  /// its expected-call quota stay on replay duty for clients whose replies
+  /// were lost, without parking in a blocking receive (e.g. between the
+  /// epochs of a rescale, where a blocked provider would stall the fence).
+  int drain(const std::string& comp);
+
   [[nodiscard]] rt::Communicator world() const { return world_; }
 
  private:

@@ -321,6 +321,36 @@ std::vector<Buffer> Communicator::alltoall(std::vector<Buffer> outgoing) {
   return incoming;
 }
 
+Communicator Communicator::subset(const std::vector<int>& members) {
+  trace::Span span("rt.subset", "rt",
+                   static_cast<std::uint64_t>(members.size()));
+  if (members.empty())
+    throw UsageError("subset: member list must not be empty");
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  int my_index = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int r = members[i];
+    if (r < 0 || r >= size())
+      throw UsageError("subset: member rank " + std::to_string(r) +
+                       " out of range");
+    if (seen[static_cast<std::size_t>(r)])
+      throw UsageError("subset: member rank " + std::to_string(r) +
+                       " listed twice");
+    seen[static_cast<std::size_t>(r)] = true;
+    if (r == rank_) my_index = static_cast<int>(i);
+  }
+  // split() orders by key, so the list's order carries into the new comm.
+  return split(my_index >= 0 ? 0 : kUndefinedColor,
+               my_index >= 0 ? my_index : 0);
+}
+
+std::int64_t Communicator::epoch_fence() {
+  trace::Span span("rt.epoch_fence", "rt");
+  const std::int64_t t0 = trace::now_ns();
+  barrier();
+  return trace::now_ns() - t0;
+}
+
 Communicator Communicator::split(int color, int key) {
   trace::Span span("rt.split", "rt");
   auto& st = *st_;

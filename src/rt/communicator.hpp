@@ -360,6 +360,23 @@ class Communicator {
 
   Communicator dup() { return split(0, rank()); }
 
+  /// Collective rank admission/retirement (the elastic-rescale splice,
+  /// docs/RESCALING.md): every rank passes the SAME `members` list — ranks
+  /// of this communicator, no duplicates — and the listed ranks land in the
+  /// new communicator with new rank == index in the list (the list's order
+  /// defines the cohort order, ascending or not). Ranks not listed are
+  /// retired: they participate in the call but get a null handle.
+  Communicator subset(const std::vector<int>& members);
+
+  /// Epoch fence: a barrier that bounds the traffic epochs of the layer
+  /// above. Sends in this runtime complete eagerly into the destination
+  /// mailbox, so once every rank reaches the fence, all pre-fence sends
+  /// have been delivered (matched or queued) — post-fence traffic can
+  /// switch descriptors/tags safely. Returns this rank's wait at the fence
+  /// in nanoseconds (its share of the drain stall, fed by callers into the
+  /// rescale.stall_ns counter).
+  std::int64_t epoch_fence();
+
   [[nodiscard]] StatsSnapshot stats() const {
     return {st_->messages.load(std::memory_order_relaxed),
             st_->bytes.load(std::memory_order_relaxed)};

@@ -31,11 +31,14 @@ class ScheduleCache {
     const std::size_t key = key_hash(*src, *dst, my_src_rank, my_dst_rank);
     auto [lo, hi] = buckets_.equal_range(key);
     for (auto it = lo; it != hi; ++it) {
-      const Entry& e = *it->second;
+      Entry& e = *it->second;
       if (e.my_src == my_src_rank && e.my_dst == my_dst_rank &&
           same_desc(e.src, src) && same_desc(e.dst, dst)) {
         ++hits_;
         hit_count.add(1);
+        // Touch: a hit re-stamps the entry, so an entry still in use at the
+        // current epoch survives retire_epochs_before.
+        e.epoch = epoch_;
         trace::instant("sched.cache.hit", "sched");
         return e.sched;
       }
@@ -48,6 +51,7 @@ class ScheduleCache {
     e->dst = dst;
     e->my_src = my_src_rank;
     e->my_dst = my_dst_rank;
+    e->epoch = epoch_;
     const std::int64_t t0 = trace::now_ns();
     e->sched = build_region_schedule(*src, *dst, my_src_rank, my_dst_rank);
     e->build_ns = trace::now_ns() - t0;
@@ -60,6 +64,32 @@ class ScheduleCache {
   [[nodiscard]] std::size_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return buckets_.size(); }
   void clear() { buckets_.clear(); }
+
+  /// Rescale-epoch lifecycle (docs/RESCALING.md): entries built from here on
+  /// are stamped with `e`; retire_epochs_before(e) then drops every entry of
+  /// an older generation. An elastic component advances the epoch at the
+  /// start of a rescale, rebuilds its connections' schedules (fresh entries,
+  /// fresh references), and only then retires the old generation — so no
+  /// live `const RegionSchedule&` ever dangles.
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Drop entries stamped with an epoch < `e`; returns how many. Schedule
+  /// references returned by get() for the dropped entries are invalidated.
+  std::size_t retire_epochs_before(std::uint64_t e) {
+    std::size_t n = 0;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->second->epoch < e) {
+        it = buckets_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    static trace::Counter& retired = trace::counter("sched.cache.retired");
+    retired.add(n);
+    return n;
+  }
 
   /// Per-entry build cost, for sizing the cache's payoff: an entry that took
   /// `build_ns` to construct saves that much on every subsequent hit.
@@ -111,10 +141,12 @@ class ScheduleCache {
     int my_src = -1, my_dst = -1;
     RegionSchedule sched;
     std::int64_t build_ns = 0;
+    std::uint64_t epoch = 0;
   };
   std::unordered_multimap<std::size_t, std::unique_ptr<Entry>> buckets_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mxn::sched

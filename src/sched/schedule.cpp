@@ -343,6 +343,48 @@ RegionSchedule build_region_schedule(const Descriptor& src,
   return build_naive(src, dst, my_src_rank, my_dst_rank, /*prune=*/false);
 }
 
+DeltaSchedule build_delta_schedule(const Descriptor& from,
+                                   const Descriptor& to, int my_from_rank,
+                                   int my_to_rank,
+                                   const std::vector<int>& from_channel_ranks,
+                                   const std::vector<int>& to_channel_ranks) {
+  trace::Span span("sched.build_delta", "sched");
+  if (static_cast<int>(from_channel_ranks.size()) != from.nranks())
+    throw UsageError("delta: old channel-rank list does not match the old "
+                     "descriptor's cohort size");
+  if (static_cast<int>(to_channel_ranks.size()) != to.nranks())
+    throw UsageError("delta: new channel-rank list does not match the new "
+                     "descriptor's cohort size");
+  const int my_channel =
+      my_from_rank >= 0   ? from_channel_ranks.at(my_from_rank)
+      : my_to_rank >= 0   ? to_channel_ranks.at(my_to_rank)
+                          : -1;
+  if (my_from_rank >= 0 && my_to_rank >= 0 &&
+      to_channel_ranks.at(my_to_rank) != my_channel)
+    throw UsageError("delta: this rank's old and new cohort slots map to "
+                     "different channel ranks");
+
+  RegionSchedule full = build_region_schedule(from, to, my_from_rank,
+                                              my_to_rank, BuildPath::Auto);
+  DeltaSchedule d;
+  // A region whose destination is this same channel rank appears in BOTH the
+  // send and the recv list (identical canonical region list); claim it from
+  // the send side and drop the mirrored recv entry.
+  for (auto& pr : full.sends) {
+    if (to_channel_ranks.at(pr.peer) == my_channel) {
+      d.local.insert(d.local.end(), pr.regions.begin(), pr.regions.end());
+      d.local_elements += pr.elements;
+    } else {
+      d.wire.sends.push_back(std::move(pr));
+    }
+  }
+  for (auto& pr : full.recvs) {
+    if (from_channel_ranks.at(pr.peer) == my_channel) continue;
+    d.wire.recvs.push_back(std::move(pr));
+  }
+  return d;
+}
+
 SegmentSchedule build_segment_schedule(const Descriptor& src,
                                        const linear::Linearization& src_lin,
                                        const Descriptor& dst,

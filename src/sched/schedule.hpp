@@ -83,6 +83,40 @@ RegionSchedule build_region_schedule(const Descriptor& src,
                                      const Descriptor& dst, int my_src_rank,
                                      int my_dst_rank, bool prune = true);
 
+/// One rank's share of an old→new *delta* redistribution — the migration
+/// step of an elastic rescale (docs/RESCALING.md). Regions whose old and
+/// new owner are the same physical (channel) rank never touch the wire:
+/// they are listed in `local` and moved by a direct extract→inject. The
+/// remainder is an ordinary RegionSchedule whose peers are cohort ranks of
+/// the opposite side of the delta (`wire.sends[i].peer` indexes the NEW
+/// cohort, `wire.recvs[i].peer` the OLD one).
+struct DeltaSchedule {
+  RegionSchedule wire;
+  std::vector<Patch> local;  // regions owned here under BOTH descriptors
+  Index local_elements = 0;
+
+  [[nodiscard]] Index wire_send_elements() const {
+    return wire.send_elements();
+  }
+  [[nodiscard]] Index wire_recv_elements() const {
+    return wire.recv_elements();
+  }
+};
+
+/// Build the delta between two same-shape descriptors for a rank holding
+/// old-cohort rank `my_from_rank` (or -1) and new-cohort rank `my_to_rank`
+/// (or -1). `from_channel_ranks` / `to_channel_ranks` map cohort ranks to
+/// channel ranks (index == cohort rank, as in sched::Coupling); they decide
+/// which intersections are wire traffic and which stay local. Built on
+/// build_region_schedule (BuildPath::Auto), so the PR-5 analytic/indexed
+/// fast paths apply and the region order is the canonical nesting on both
+/// sides.
+DeltaSchedule build_delta_schedule(const Descriptor& from,
+                                   const Descriptor& to, int my_from_rank,
+                                   int my_to_rank,
+                                   const std::vector<int>& from_channel_ranks,
+                                   const std::vector<int>& to_channel_ranks);
+
 /// Everything one rank exchanges with one peer, as segments of the common
 /// abstract linear arrangement (Meta-Chaos / InterComm model, §2.2.1).
 struct PeerSegments {

@@ -521,3 +521,53 @@ TEST(RtRecvMatching, BlocksUntilMatchingMessageArrives) {
     }
   });
 }
+
+// ---------------------------------------------------------------------------
+// subset() and epoch_fence() (elastic rescaling support)
+// ---------------------------------------------------------------------------
+
+TEST(RtSubset, MembersGetListOrderRanksOthersNull) {
+  rt::spawn(6, [](rt::Communicator& world) {
+    // Deliberately NOT in world-rank order: subset rank = list index.
+    const std::vector<int> members{4, 1, 3};
+    auto sub = world.subset(members);
+    if (world.rank() == 4 || world.rank() == 1 || world.rank() == 3) {
+      ASSERT_FALSE(sub.is_null());
+      EXPECT_EQ(sub.size(), 3);
+      const int expect_rank =
+          world.rank() == 4 ? 0 : (world.rank() == 1 ? 1 : 2);
+      EXPECT_EQ(sub.rank(), expect_rank);
+      // The subset is a working communicator.
+      EXPECT_EQ(sub.allreduce(1, [](int a, int b) { return a + b; }), 3);
+    } else {
+      EXPECT_TRUE(sub.is_null());
+    }
+  });
+}
+
+TEST(RtSubset, ValidatesMemberList) {
+  rt::spawn(2, [](rt::Communicator& world) {
+    EXPECT_THROW(world.subset({}), rt::UsageError);
+    EXPECT_THROW(world.subset({0, 2}), rt::UsageError);   // out of range
+    EXPECT_THROW(world.subset({0, -1}), rt::UsageError);  // out of range
+    EXPECT_THROW(world.subset({0, 0}), rt::UsageError);   // duplicate
+    // The collective still completes after consistent throws: every rank
+    // threw before entering the rendezvous, so no board entry leaked.
+    auto sub = world.subset({1, 0});
+    EXPECT_EQ(sub.rank(), 1 - world.rank());
+  });
+}
+
+TEST(RtEpochFence, SynchronizesAndReportsWait) {
+  rt::spawn(4, [](rt::Communicator& world) {
+    std::int64_t waited = world.epoch_fence();
+    EXPECT_GE(waited, 0);
+    // After the fence, everyone observes everyone's pre-fence sends.
+    world.send(0, 7, std::vector<std::byte>{});
+    const std::int64_t w2 = world.epoch_fence();
+    EXPECT_GE(w2, 0);
+    if (world.rank() == 0) {
+      for (int r = 0; r < 4; ++r) EXPECT_TRUE(world.probe(r, 7));
+    }
+  });
+}

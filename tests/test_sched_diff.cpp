@@ -12,6 +12,7 @@
 #include <numeric>
 #include <random>
 
+#include "dad/dist_array.hpp"
 #include "linear/linearization.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
@@ -331,4 +332,192 @@ TEST(ScheduleDiff, FootprintCacheHitsOnRepeatedSegmentBuilds) {
   // on both sides, so the second rank's build is served entirely from cache.
   EXPECT_GT(second.hits, first.hits);
   EXPECT_EQ(second.misses, first.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Delta schedules (elastic rescaling, docs/RESCALING.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Channel-rank overlap patterns between a cohort of `m` and a cohort of
+/// `n`: the delta builder's local/wire split depends only on which slots
+/// map to the same channel rank, so these cover pure-wire (disjoint),
+/// full-survival (identical), and mixed retire/survive/admit layouts.
+std::pair<std::vector<int>, std::vector<int>> overlap_lists(int pattern,
+                                                            int m, int n) {
+  std::vector<int> from(static_cast<std::size_t>(m));
+  std::vector<int> to(static_cast<std::size_t>(n));
+  switch (pattern) {
+    case 0:  // disjoint: every element moves on the wire
+      std::iota(from.begin(), from.end(), 0);
+      std::iota(to.begin(), to.end(), m);
+      break;
+    case 1:  // identical prefix: maximal same-rank overlap
+      std::iota(from.begin(), from.end(), 0);
+      std::iota(to.begin(), to.end(), 0);
+      break;
+    default:  // staggered: retire the first half, admit at the tail
+      std::iota(from.begin(), from.end(), 0);
+      std::iota(to.begin(), to.end(), m / 2);
+      break;
+  }
+  return {std::move(from), std::move(to)};
+}
+
+double global_value(const Point& p) {
+  return 13.0 * p[0] + 3.0 * p[1] + p[2];
+}
+
+}  // namespace
+
+TEST(DeltaSchedule, SplitsFullScheduleExactlyIntoLocalAndWire) {
+  // For every participant the delta must partition the full redistribution
+  // schedule: wire traffic plus same-channel-rank local regions account for
+  // every element, and no wire pair connects a rank to itself.
+  Rng rng(20260808);
+  for (const auto& co : kCohorts) {
+    for (int pattern = 0; pattern < 3; ++pattern) {
+      const auto [from_ranks, to_ranks] =
+          overlap_lists(pattern, co.m, co.n);
+      for (int ndim = 1; ndim <= 3; ++ndim) {
+        const Point extents = extents_for(rng, ndim);
+        const auto from = random_descriptor(rng, ndim, co.m, extents);
+        const auto to = random_descriptor(rng, ndim, co.n, extents);
+
+        Index moved_out = 0, moved_in = 0, local_total = 0;
+        const int channel_size = 64;
+        for (int ch = 0; ch < channel_size; ++ch) {
+          int my_from = -1, my_to = -1;
+          for (std::size_t i = 0; i < from_ranks.size(); ++i)
+            if (from_ranks[i] == ch) my_from = static_cast<int>(i);
+          for (std::size_t i = 0; i < to_ranks.size(); ++i)
+            if (to_ranks[i] == ch) my_to = static_cast<int>(i);
+          if (my_from < 0 && my_to < 0) continue;
+
+          const auto delta = sched::build_delta_schedule(
+              *from, *to, my_from, my_to, from_ranks, to_ranks);
+          const auto full = sched::build_region_schedule(
+              *from, *to, my_from, my_to);
+
+          // Partition: wire + local == full, on both roles.
+          EXPECT_EQ(delta.wire_send_elements() + delta.local_elements,
+                    full.send_elements())
+              << "pattern " << pattern << " rank " << ch;
+          EXPECT_EQ(delta.wire_recv_elements() + delta.local_elements,
+                    full.recv_elements())
+              << "pattern " << pattern << " rank " << ch;
+
+          // No self-pairs on the wire.
+          for (const auto& pr : delta.wire.sends)
+            EXPECT_NE(to_ranks.at(static_cast<std::size_t>(pr.peer)), ch);
+          for (const auto& pr : delta.wire.recvs)
+            EXPECT_NE(from_ranks.at(static_cast<std::size_t>(pr.peer)), ch);
+
+          // Local regions really are owned on both sides by this rank.
+          Index local_vol = 0;
+          for (const auto& r : delta.local) local_vol += r.volume();
+          EXPECT_EQ(local_vol, delta.local_elements);
+
+          moved_out += delta.wire_send_elements();
+          moved_in += delta.wire_recv_elements();
+          local_total += delta.local_elements;
+        }
+        // Conservation across the channel: everything sent is received,
+        // and wire + local covers the global volume exactly once.
+        EXPECT_EQ(moved_out, moved_in);
+        EXPECT_EQ(moved_out + local_total, from->total_volume())
+            << "pattern " << pattern << ": " << from->to_string() << " -> "
+            << to->to_string();
+      }
+    }
+  }
+}
+
+TEST(DeltaSchedule, SimulatedMigrationMatchesDirectRedistribution) {
+  // The end-to-end differential: materialize the old decomposition, apply
+  // the delta (local extract→inject moves plus simulated wire transfers),
+  // and require the new decomposition to be element-for-element identical
+  // to building the new state directly. Runs across random distribution
+  // kinds and all three overlap patterns.
+  Rng rng(77002026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int pattern = trial % 3;
+    const int m = rand_int(rng, 2, 6), n = rand_int(rng, 2, 6);
+    const auto [from_ranks, to_ranks] = overlap_lists(pattern, m, n);
+    const int ndim = rand_int(rng, 1, 3);
+    const Point extents = extents_for(rng, ndim);
+    const auto from = random_descriptor(rng, ndim, m, extents);
+    const auto to = random_descriptor(rng, ndim, n, extents);
+
+    // Old state: every from-rank's array filled from the global function.
+    std::vector<dad::DistArray<double>> old_arrays;
+    old_arrays.reserve(static_cast<std::size_t>(m));
+    for (int r = 0; r < m; ++r) {
+      old_arrays.emplace_back(from, r);
+      old_arrays.back().fill(global_value);
+    }
+    std::vector<dad::DistArray<double>> new_arrays;
+    new_arrays.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) new_arrays.emplace_back(to, r);
+
+    // Apply each participant's delta. Wire recvs pull straight from the
+    // sending rank's array — canonical region nesting guarantees the
+    // receiver's region list equals the sender's for the pair.
+    for (int d = 0; d < n; ++d) {
+      const int ch = to_ranks[static_cast<std::size_t>(d)];
+      int my_from = -1;
+      for (std::size_t i = 0; i < from_ranks.size(); ++i)
+        if (from_ranks[i] == ch) my_from = static_cast<int>(i);
+      const auto delta = sched::build_delta_schedule(*from, *to, my_from, d,
+                                                     from_ranks, to_ranks);
+      for (const auto& region : delta.local) {
+        const auto buf =
+            old_arrays[static_cast<std::size_t>(my_from)].extract(region);
+        new_arrays[static_cast<std::size_t>(d)].inject(region, buf.data());
+      }
+      for (const auto& pr : delta.wire.recvs) {
+        auto& src_arr = old_arrays[static_cast<std::size_t>(pr.peer)];
+        for (const auto& region : pr.regions) {
+          const auto buf = src_arr.extract(region);
+          new_arrays[static_cast<std::size_t>(d)].inject(region, buf.data());
+        }
+      }
+    }
+
+    // Every new rank must now hold exactly the directly-built state.
+    for (int d = 0; d < n; ++d) {
+      new_arrays[static_cast<std::size_t>(d)].for_each_owned(
+          [&](const Point& p, const double& v) {
+            ASSERT_DOUBLE_EQ(v, global_value(p))
+                << "trial " << trial << " rank " << d;
+          });
+    }
+  }
+}
+
+TEST(DeltaSchedule, ValidatesChannelRankLists) {
+  auto from = dad::make_regular(std::vector<AxisDist>{AxisDist::block(24, 2)});
+  auto to = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 3)});
+  const std::vector<int> from_ranks{0, 1};
+  const std::vector<int> to_ranks{1, 2, 3};
+  // Wrong list lengths.
+  EXPECT_THROW(
+      sched::build_delta_schedule(*from, *to, 0, -1, {0}, to_ranks),
+      mxn::rt::UsageError);
+  EXPECT_THROW(
+      sched::build_delta_schedule(*from, *to, 0, -1, from_ranks, {1, 2}),
+      mxn::rt::UsageError);
+  // Inconsistent slots: claims from-slot 1 (channel 1) and to-slot 2
+  // (channel 3) simultaneously.
+  EXPECT_THROW(
+      sched::build_delta_schedule(*from, *to, 1, 2, from_ranks, to_ranks),
+      mxn::rt::UsageError);
+  // Consistent: from-slot 1 and to-slot 0 both map to channel rank 1.
+  const auto d =
+      sched::build_delta_schedule(*from, *to, 1, 0, from_ranks, to_ranks);
+  EXPECT_EQ(d.wire_send_elements() + d.wire_recv_elements() +
+                2 * d.local_elements,
+            d.wire.send_elements() + d.wire.recv_elements() +
+                2 * d.local_elements);
 }
