@@ -235,6 +235,32 @@ class MxNComponent final : public Component, public MxNService {
   /// Current channel-rank layout: side(0) and side(1) of the live epoch.
   [[nodiscard]] Layout layout() const { return {side_ranks_[0], side_ranks_[1]}; }
 
+  // --- failure-recovery hooks (src/redundancy, docs/REDUNDANCY.md) ----------
+  /// The pair-wide channel communicator (cheap shared handle).
+  [[nodiscard]] rt::Communicator channel() const { return channel_; }
+  /// This rank's side cohort communicator (null on spectators).
+  [[nodiscard]] rt::Communicator cohort() const { return cohort_; }
+  /// This rank's registered fields (empty on spectators).
+  [[nodiscard]] const std::map<std::string, FieldRegistration>& fields() const {
+    return fields_;
+  }
+  /// Open a recovery descriptor generation: bumps the epoch counter that
+  /// stamps re-registered descriptors and keys the schedule cache, exactly
+  /// like the migrate step of rescale(). Paired with splice_recovered(),
+  /// which retires the generations before it. Elastic components only.
+  std::uint64_t begin_recovery_epoch();
+  /// Swap this component onto a recovered channel after dead ranks were
+  /// rebuilt elsewhere (RedundancyGroup::recover): replaces the channel,
+  /// re-mints the side cohorts (collective subset on the new channel),
+  /// installs the recovered field registrations, re-establishes every live
+  /// connection (descriptor re-exchange + attempt-serial alignment), and
+  /// retires the pre-recovery schedule-cache generations. `new_layout` and
+  /// `new_regs` use the NEW channel's rank numbering; the data migration has
+  /// already happened by the time this is called. Collective over the new
+  /// channel.
+  void splice_recovered(rt::Communicator new_channel, Layout new_layout,
+                        std::map<std::string, FieldRegistration> new_regs);
+
  private:
   struct Connection;
 

@@ -469,4 +469,46 @@ void MxNComponent::rescale(const Layout& new_layout,
   rstats_.rescale_ns += trace::now_ns() - t0;
 }
 
+std::uint64_t MxNComponent::begin_recovery_epoch() {
+  if (!elastic_)
+    throw UsageError(
+        "recovery requires an elastic component (make_elastic_mxn)");
+  ++repoch_;
+  ++rstats_.epochs;
+  static trace::Counter& epochs = trace::counter("rescale.epochs");
+  epochs.add(1);
+  cache_.set_epoch(repoch_);
+  return repoch_;
+}
+
+void MxNComponent::splice_recovered(rt::Communicator new_channel,
+                                    Layout new_layout,
+                                    std::map<std::string, FieldRegistration>
+                                        new_regs) {
+  if (!elastic_)
+    throw UsageError(
+        "recovery requires an elastic component (make_elastic_mxn)");
+  if (new_channel.is_null())
+    throw UsageError("splice_recovered: null channel");
+  new_layout.validate(new_channel.size());
+  // No epoch fence here: the old channel contains dead ranks, so a fence
+  // could never complete. The caller (RedundancyGroup::recover) has already
+  // quiesced the survivors via split_live + its own collectives, and
+  // begin_recovery_epoch() bumped the generation the migration stamped onto
+  // the recovered descriptors.
+  channel_ = std::move(new_channel);
+  rt::Communicator c0 = channel_.subset(new_layout.side0);
+  rt::Communicator c1 = channel_.subset(new_layout.side1);
+  const int new_side = new_layout.side_of(channel_.rank());
+  cohort_ = new_side == 0   ? std::move(c0)
+            : new_side == 1 ? std::move(c1)
+                            : rt::Communicator{};
+  side_ = new_side;
+  side_ranks_[0] = std::move(new_layout.side0);
+  side_ranks_[1] = std::move(new_layout.side1);
+  fields_ = std::move(new_regs);
+  reestablish_connections();
+  cache_.retire_epochs_before(repoch_);
+}
+
 }  // namespace mxn::core

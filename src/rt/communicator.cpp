@@ -42,6 +42,7 @@ CommState::CommState(Universe* u, std::vector<int> member_ids)
   for (std::size_t i = 0; i < members.size(); ++i)
     boxes.push_back(std::make_unique<Mailbox>(uni, members[i]));
   entries.resize(members.size());
+  present.resize(members.size(), 0);
   results.resize(members.size());
 }
 
@@ -352,48 +353,79 @@ std::int64_t Communicator::epoch_fence() {
 }
 
 Communicator Communicator::split(int color, int key) {
-  trace::Span span("rt.split", "rt");
+  return split_impl(color, key, /*live_only=*/false, /*timeout_ms=*/-1);
+}
+
+Communicator Communicator::split_live(int color, int key, int timeout_ms) {
+  return split_impl(color, key, /*live_only=*/true, timeout_ms);
+}
+
+Communicator Communicator::split_impl(int color, int key, bool live_only,
+                                      int timeout_ms) {
+  trace::Span span(live_only ? "rt.split_live" : "rt.split", "rt");
   auto& st = *st_;
   Universe* uni = st.uni;
   std::unique_lock lock(st.split_mu);
-
-  auto wait_until = [&](auto pred) {
-    uni->blocked_wait(lock, st.split_cv, "split", pred);
-  };
-
   using detail::CommState;
-  wait_until([&] { return st.phase == CommState::Phase::Arrive; });
+  const char* what = live_only ? "split_live" : "split";
+
+  uni->blocked_wait(lock, st.split_cv, what,
+                    [&] { return st.phase == CommState::Phase::Arrive; },
+                    timeout_ms);
   st.entries[rank_] = {color, key};
-  if (++st.arrived == size()) {
-    // Last arriver computes the new communicators for every color.
-    std::map<int, std::vector<int>> groups;  // color -> ranks (in old comm)
-    for (int r = 0; r < size(); ++r) {
-      if (st.entries[r].color != kUndefinedColor)
-        groups[st.entries[r].color].push_back(r);
-    }
-    for (auto& r : st.results) r = {nullptr, -1};
-    for (auto& [c, ranks] : groups) {
-      std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
-        return st.entries[a].key < st.entries[b].key;
-      });
-      std::vector<int> member_ids;
-      member_ids.reserve(ranks.size());
-      for (int r : ranks) member_ids.push_back(st.members[r]);
-      auto child = std::make_shared<CommState>(uni, std::move(member_ids));
-      for (std::size_t i = 0; i < ranks.size(); ++i)
-        st.results[ranks[i]] = {child, static_cast<int>(i)};
-    }
-    st.phase = CommState::Phase::Pickup;
-    st.picked = 0;
-    st.split_cv.notify_all();
-  } else {
-    wait_until([&] { return st.phase == CommState::Phase::Pickup; });
-  }
+  st.present[rank_] = 1;
+  ++st.arrived;
+  st.split_cv.notify_all();
+
+  // The rendezvous quorum: every member for split(); every member the
+  // universe does not report dead for split_live(). The quorum is
+  // re-evaluated on each 50 ms wait tick, so a member dying mid-rendezvous
+  // (or being reported dead later) releases the survivors.
+  const auto quorum = [&] {
+    if (!live_only) return size();
+    int n = 0;
+    for (int id : st.members)
+      if (!uni->is_dead(id)) ++n;
+    return n;
+  };
+  // The first rank to observe a full quorum (usually the last arriver)
+  // computes the new communicators for every color, under the board lock.
+  // Absent members — only possible with live_only — get the undefined color.
+  uni->blocked_wait(
+      lock, st.split_cv, what,
+      [&] {
+        if (st.phase == CommState::Phase::Pickup) return true;
+        if (st.arrived < quorum()) return false;
+        std::map<int, std::vector<int>> groups;  // color -> old-comm ranks
+        for (int r = 0; r < size(); ++r) {
+          if (st.present[r] && st.entries[r].color != kUndefinedColor)
+            groups[st.entries[r].color].push_back(r);
+        }
+        for (auto& res : st.results) res = {nullptr, -1};
+        for (auto& [c, ranks] : groups) {
+          std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
+            return st.entries[a].key < st.entries[b].key;
+          });
+          std::vector<int> member_ids;
+          member_ids.reserve(ranks.size());
+          for (int r : ranks) member_ids.push_back(st.members[r]);
+          auto child = std::make_shared<CommState>(uni, std::move(member_ids));
+          for (std::size_t i = 0; i < ranks.size(); ++i)
+            st.results[ranks[i]] = {child, static_cast<int>(i)};
+        }
+        st.phase = CommState::Phase::Pickup;
+        st.pickers = st.arrived;
+        st.picked = 0;
+        st.split_cv.notify_all();
+        return true;
+      },
+      timeout_ms);
 
   auto [child, new_rank] = st.results[rank_];
-  if (++st.picked == size()) {
+  if (++st.picked == st.pickers) {
     st.phase = CommState::Phase::Arrive;
     st.arrived = 0;
+    std::fill(st.present.begin(), st.present.end(), 0);
     st.split_cv.notify_all();
   }
   lock.unlock();

@@ -81,7 +81,13 @@ struct CommState {
   Phase phase = Phase::Arrive;
   int arrived = 0;
   int picked = 0;
+  // How many ranks must pick up this round's results before the board
+  // resets: size() for split(), the arrived quorum for split_live().
+  int pickers = 0;
   std::vector<SplitEntry> entries;
+  // Which ranks arrived this round; split_live() treats absentees (dead
+  // ranks) as if they had passed kUndefinedColor.
+  std::vector<char> present;
   // Per-rank result: the new comm state (null for undefined color) + rank.
   std::vector<std::pair<std::shared_ptr<CommState>, int>> results;
 };
@@ -358,6 +364,16 @@ class Communicator {
   /// ordered by (key, old rank). Color kUndefinedColor yields a null handle.
   Communicator split(int color, int key);
 
+  /// split() whose rendezvous completes once every member the universe does
+  /// NOT report dead (Universe::is_dead) has arrived — the only collective
+  /// that can succeed on a communicator containing fault-killed ranks, and
+  /// the entry point of cohort recovery (docs/REDUNDANCY.md). Dead members
+  /// are treated as if they had passed kUndefinedColor; a member that dies
+  /// mid-rendezvous releases the survivors on the next watchdog tick.
+  /// `timeout_ms` bounds the whole rendezvous (< 0 = spawn default,
+  /// 0 = no deadline).
+  Communicator split_live(int color, int key, int timeout_ms = -1);
+
   Communicator dup() { return split(0, rank()); }
 
   /// Collective rank admission/retirement (the elastic-rescale splice,
@@ -391,6 +407,7 @@ class Communicator {
   }
 
  private:
+  Communicator split_impl(int color, int key, bool live_only, int timeout_ms);
   void check_dst(int dst, const char* op) const;
   void check_user_tag(int tag) const;
   void raw_send(int dst, int tag, Buffer data, const char* op = "send");

@@ -1,6 +1,7 @@
 #include "rt/fault.hpp"
 
 #include <cstdlib>
+#include <map>
 #include <sstream>
 
 #include "rt/error.hpp"
@@ -41,20 +42,63 @@ int parse_int(const std::string& key, const std::string& v) {
   }
 }
 
+// One "rank@after" kill-list entry.
+KillSpec parse_kill(const std::string& v) {
+  const auto at = v.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= v.size())
+    throw UsageError("fault plan: kill entries are rank@after, got '" + v +
+                     "'");
+  KillSpec k{parse_int("kill", v.substr(0, at)),
+             parse_int("kill", v.substr(at + 1))};
+  if (k.rank < 0 || k.after < 0)
+    throw UsageError("fault plan: kill rank and operation must be >= 0");
+  return k;
+}
+
 }  // namespace
+
+std::vector<KillSpec> FaultPlan::all_kills() const {
+  // Earliest-wins per rank: a rank can only die once, so duplicate entries
+  // collapse onto the smallest operation count. Ascending rank order keeps
+  // the result deterministic regardless of spec order.
+  std::map<int, int> earliest;
+  const auto note = [&](const KillSpec& k) {
+    if (k.rank < 0 || k.after < 0) return;
+    const auto it = earliest.find(k.rank);
+    if (it == earliest.end() || k.after < it->second)
+      earliest[k.rank] = k.after;
+  };
+  if (kill_rank >= 0 && kill_after >= 0) note({kill_rank, kill_after});
+  for (const KillSpec& k : kills) note(k);
+  std::vector<KillSpec> out;
+  out.reserve(earliest.size());
+  for (const auto& [r, a] : earliest) out.push_back({r, a});
+  return out;
+}
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan p;
   std::stringstream ss(spec);
   std::string item;
+  bool in_kill_list = false;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) continue;
     const auto eq = item.find('=');
-    if (eq == std::string::npos)
+    if (eq == std::string::npos) {
+      // "kill=2@40,5@90" splits at the commas like every other item; an
+      // '='-less item directly following a kill= key continues its list.
+      if (in_kill_list) {
+        p.kills.push_back(parse_kill(item));
+        continue;
+      }
       throw UsageError("fault plan: expected key=value, got '" + item + "'");
+    }
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
-    if (key == "seed") {
+    in_kill_list = key == "kill";
+    if (key == "kill") {
+      p.kills.push_back(parse_kill(val));
+    } else if (key == "seed") {
       p.seed = static_cast<std::uint64_t>(parse_int(key, val));
     } else if (key == "drop") {
       p.drop = parse_double(key, val);
@@ -94,22 +138,34 @@ std::string FaultPlan::to_string() const {
      << ",reorder=" << reorder << ",delay=" << delay
      << ",delay_ms=" << delay_ms << ",kill_rank=" << kill_rank
      << ",kill_after=" << kill_after << ",min_tag=" << min_tag;
+  if (!kills.empty()) {
+    os << ",kill=";
+    for (std::size_t i = 0; i < kills.size(); ++i)
+      os << (i ? "," : "") << kills[i].rank << '@' << kills[i].after;
+  }
   return os.str();
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, int nranks)
     : plan_(plan),
       ops_(static_cast<std::size_t>(nranks)),
-      sends_(static_cast<std::size_t>(nranks)) {}
+      sends_(static_cast<std::size_t>(nranks)),
+      kill_at_(static_cast<std::size_t>(nranks), -1) {
+  for (const KillSpec& k : plan_.all_kills()) {
+    if (k.rank < 0 || k.rank >= nranks) continue;
+    auto& at = kill_at_[static_cast<std::size_t>(k.rank)];
+    if (at < 0 || k.after < at) at = k.after;  // earliest kill wins
+  }
+}
 
 void FaultInjector::on_op(int rank) {
   if (rank < 0 || rank >= static_cast<int>(ops_.size())) return;
   const auto op = ops_[rank].fetch_add(1, std::memory_order_relaxed);
   // Sticky: every operation at or past the appointed one throws, so user
   // code that (wrongly) catches KilledError cannot resurrect the rank.
-  if (rank == plan_.kill_rank && plan_.kill_after >= 0 &&
-      op >= static_cast<std::uint64_t>(plan_.kill_after)) {
-    if (op == static_cast<std::uint64_t>(plan_.kill_after)) {
+  const int kill_at = kill_at_[static_cast<std::size_t>(rank)];
+  if (kill_at >= 0 && op >= static_cast<std::uint64_t>(kill_at)) {
+    if (op == static_cast<std::uint64_t>(kill_at)) {
       killed_.store(true, std::memory_order_relaxed);
       static trace::Counter& killed = trace::counter("fault.killed");
       killed.add(1);

@@ -19,6 +19,15 @@ namespace mxn::rt {
 /// that rank's operation counter), never of wall-clock time or thread
 /// interleaving. Two runs of the same program with the same plan inject the
 /// same faults at the same points of each rank's program order.
+/// One scheduled kill: `rank` dies (sticky KilledError) at its `after`-th
+/// counted operation. Negative values disable the entry.
+struct KillSpec {
+  int rank = -1;
+  int after = -1;
+
+  friend bool operator==(const KillSpec&, const KillSpec&) = default;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
 
@@ -31,23 +40,37 @@ struct FaultPlan {
 
   // Kill `kill_rank` when it reaches its `kill_after`-th counted operation
   // (blocking sends + blocking receives, in that rank's program order).
-  // Negative values disable the kill.
+  // Negative values disable the kill. Legacy single-kill pair, kept for
+  // back-compat; merged with `kills` by all_kills().
   int kill_rank = -1;
   int kill_after = -1;
+
+  // Multi-kill list ("kill=2@40,5@90" in the spec syntax). Each entry kills
+  // one rank at that rank's own operation count, so a plan can exceed any
+  // redundancy scheme's tolerance (docs/REDUNDANCY.md).
+  std::vector<KillSpec> kills;
 
   // Faults apply only to messages with tag >= min_tag. The default spares
   // nothing user-visible; internal collective tags (< 0) are always spared
   // so a plan cannot corrupt barrier/bcast plumbing it has no model of.
   int min_tag = 0;
 
+  /// All scheduled kills: the legacy kill_rank/kill_after pair (when both are
+  /// set) followed by `kills`. If one rank appears twice, the earliest
+  /// operation count wins.
+  [[nodiscard]] std::vector<KillSpec> all_kills() const;
+
   [[nodiscard]] bool enabled() const {
     return drop > 0 || dup > 0 || reorder > 0 || delay > 0 ||
-           (kill_rank >= 0 && kill_after >= 0);
+           !all_kills().empty();
   }
 
   /// Parse "key=value[,key=value...]" — the MXN_FAULTS syntax, e.g.
-  /// "seed=7,drop=0.05,dup=0.05,kill_rank=2,kill_after=40". Unknown keys
-  /// and malformed values throw UsageError.
+  /// "seed=7,drop=0.05,dup=0.05,kill=2@40,5@90". A "kill=" value is a list
+  /// of rank@after entries (comma-separated items after a "kill=" key that
+  /// contain no '=' continue the kill list); the legacy
+  /// "kill_rank=2,kill_after=40" keys are still accepted. Unknown keys and
+  /// malformed values throw UsageError.
   static FaultPlan parse(const std::string& spec);
 
   /// Plan from MXN_FAULTS, if the variable is set and non-empty.
@@ -89,6 +112,9 @@ class FaultInjector {
   // Indexed by universe rank: counted ops (kill clock) and send decisions.
   std::vector<std::atomic<std::uint64_t>> ops_;
   std::vector<std::atomic<std::uint64_t>> sends_;
+  // Indexed by universe rank: the operation count at which the rank dies,
+  // or -1 for immortal ranks. Built from plan.all_kills().
+  std::vector<int> kill_at_;
   std::atomic<bool> killed_{false};
 };
 

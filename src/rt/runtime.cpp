@@ -51,7 +51,7 @@ void spawn(int nprocs, const std::function<void(Communicator&)>& fn,
           std::lock_guard lock(err_mu);
           if (!kill_error) kill_error = std::current_exception();
         }
-        uni->note_death();
+        uni->note_death_of(r);
       } catch (...) {
         {
           std::lock_guard lock(err_mu);

@@ -42,6 +42,38 @@ void Universe::note_death() {
   notify_all_mailboxes();
 }
 
+void Universe::note_death_of(int rank) {
+  if (rank >= 0 && rank < size_)
+    dead_flags_[static_cast<std::size_t>(rank)].store(
+        true, std::memory_order_release);
+  note_death();
+}
+
+std::vector<int> Universe::dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r)
+    if (dead_flags_[static_cast<std::size_t>(r)].load(
+            std::memory_order_acquire))
+      out.push_back(r);
+  return out;
+}
+
+std::string Universe::timeout_dead_report() {
+  if (dead_.load(std::memory_order_acquire) == 0) return {};
+  // Survivor-side detection: the deadline tripped while peers are known
+  // dead. Count the detection so chaos suites can assert it happened.
+  static trace::Counter& detected = trace::counter("fault.dead_rank_detected");
+  detected.add(1);
+  const std::vector<int> dead = dead_ranks();
+  if (dead.empty())
+    return "; " + std::to_string(dead_.load(std::memory_order_acquire)) +
+           " rank(s) known dead (fault-injected kill)";
+  std::string s = "; known dead rank(s):";
+  for (int r : dead) s += " " + std::to_string(r);
+  s += " (fault-injected kill)";
+  return s;
+}
+
 bool Universe::check_deadlock() {
   if (deadlock_timeout_ms_ <= 0) return false;
   if (deadlocked_.load(std::memory_order_acquire)) return true;

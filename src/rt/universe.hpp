@@ -92,9 +92,25 @@ class Universe {
   /// aborted — they must discover the failure through their own deadlines,
   /// exactly like peers of a crashed MPI process.
   void note_death();
+  /// note_death() that also records WHICH universe rank died, so survivors
+  /// can name it in timeout errors (is_dead/dead_ranks) and a recovery layer
+  /// can splice it out (Communicator::split_live, src/redundancy).
+  void note_death_of(int rank);
   [[nodiscard]] int dead() const {
     return dead_.load(std::memory_order_acquire);
   }
+  /// True when `rank` (a universe rank) was reported via note_death_of().
+  [[nodiscard]] bool is_dead(int rank) const {
+    return rank >= 0 && rank < size_ &&
+           dead_flags_[static_cast<std::size_t>(rank)].load(
+               std::memory_order_acquire);
+  }
+  /// The universe ranks reported dead so far, ascending.
+  [[nodiscard]] std::vector<int> dead_ranks() const;
+  /// Suffix for survivor-side timeout errors: names the known dead ranks (or
+  /// is empty when none died) and bumps the fault.dead_rank_detected counter
+  /// per call, so chaos tests can assert the detection happened.
+  [[nodiscard]] std::string timeout_dead_report();
 
   // --- per-call deadlines ---------------------------------------------------
   /// Spawn-wide default receive deadline (SpawnOptions); 0 = no deadline.
@@ -137,7 +153,8 @@ class Universe {
         block_exit();
         trace::instant("rt.timeout", "rt", static_cast<std::uint64_t>(eff));
         throw TimeoutError(std::string(what) + " deadline of " +
-                           std::to_string(eff) + " ms exceeded");
+                           std::to_string(eff) + " ms exceeded" +
+                           timeout_dead_report());
       }
       cv.wait_for(lock, std::chrono::milliseconds(50));
       check_deadlock();
@@ -189,6 +206,11 @@ class Universe {
 
   std::unique_ptr<FaultInjector> faults_;
   std::atomic<int> dead_{0};
+  // One flag per universe rank, set by note_death_of(). size_ is declared
+  // (and constructor-initialized) before this member, so the initializer may
+  // read it.
+  std::unique_ptr<std::atomic<bool>[]> dead_flags_{
+      new std::atomic<bool>[size_ > 0 ? static_cast<std::size_t>(size_) : 1]()};
 
   std::atomic<int> blocked_{0};
   // Steady-clock time (ns since epoch of the clock) at which the universe

@@ -9,10 +9,12 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/mxn_component.hpp"
@@ -91,6 +93,32 @@ TEST(FaultPlan, ParseAndRoundTrip) {
   EXPECT_FALSE(rt::FaultPlan{}.enabled());
 }
 
+TEST(FaultPlan, KillListParseAndRoundTrip) {
+  // Multi-kill syntax: a "kill=" value is a list of rank@after entries.
+  auto p = rt::FaultPlan::parse("seed=3,kill=2@40,5@90,min_tag=900");
+  ASSERT_EQ(p.kills.size(), 2u);
+  EXPECT_EQ(p.kills[0], (rt::KillSpec{2, 40}));
+  EXPECT_EQ(p.kills[1], (rt::KillSpec{5, 90}));
+  EXPECT_EQ(p.min_tag, 900);
+  EXPECT_TRUE(p.enabled());
+
+  // to_string() re-emits the list and parses back to the same plan.
+  auto q = rt::FaultPlan::parse(p.to_string());
+  EXPECT_EQ(q.kills, p.kills);
+  EXPECT_EQ(q.min_tag, p.min_tag);
+
+  // all_kills() merges the legacy pair with the list; when a rank appears
+  // in both, the earliest operation index wins.
+  rt::FaultPlan m;
+  m.kill_rank = 2;
+  m.kill_after = 40;
+  m.kills = {{5, 90}, {2, 10}};
+  const auto all = m.all_kills();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], (rt::KillSpec{2, 10}));
+  EXPECT_EQ(all[1], (rt::KillSpec{5, 90}));
+}
+
 TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(rt::FaultPlan::parse("bogus=1"), rt::UsageError);
   EXPECT_THROW(rt::FaultPlan::parse("drop"), rt::UsageError);
@@ -98,6 +126,9 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(rt::FaultPlan::parse("drop=0.5x"), rt::UsageError);
   EXPECT_THROW(rt::FaultPlan::parse("drop=1.5"), rt::UsageError);
   EXPECT_THROW(rt::FaultPlan::parse("dup=-0.1"), rt::UsageError);
+  EXPECT_THROW(rt::FaultPlan::parse("kill=2"), rt::UsageError);
+  EXPECT_THROW(rt::FaultPlan::parse("kill=2@"), rt::UsageError);
+  EXPECT_THROW(rt::FaultPlan::parse("kill=x@4"), rt::UsageError);
 }
 
 TEST(FaultPlan, FromEnvironment) {
@@ -210,6 +241,91 @@ TEST(FaultRt, KillRaisesTypedErrorsOnEveryRank) {
   EXPECT_EQ(outcome[0], "timeout");
   EXPECT_EQ(outcome[2], "timeout");
   EXPECT_EQ(ctr("fault.killed") - killed0, 1u);
+}
+
+TEST(FaultRt, MultiKillFiresEveryScheduledRank) {
+  // A kill list takes down two of four ring ranks, each at its own op
+  // count; both die typed, the survivors starve typed, and the universe's
+  // per-rank death flags name exactly the scheduled victims.
+  const auto killed0 = ctr("fault.killed");
+  std::array<std::string, 4> outcome;
+  std::vector<int> dead_seen;
+  EXPECT_THROW(
+      rt::spawn(
+          4,
+          [&](rt::Communicator& world) {
+            const int r = world.rank();
+            rt::Universe* uni = world.universe();
+            outcome[r] = classify([&] {
+              for (int it = 0; it < 20; ++it) {
+                world.send_value((r + 1) % 4, 3, it);
+                // Swallow starvation so a later-scheduled victim keeps
+                // making counted ops after an earlier victim dies — only
+                // the kill itself may escape.
+                try {
+                  (void)world.recv_value<int>((r + 3) % 4, 3);
+                } catch (const rt::TimeoutError&) {}
+              }
+            });
+            // The runtime notes a death when KilledError UNWINDS the rank's
+            // lambda — rethrow so the universe's flags get set (and spawn
+            // reports the kill).
+            if (outcome[r] == "killed")
+              throw rt::KilledError("rethrow scheduled kill");
+            if (r == 0) {
+              // Both deaths are noted once the killed lambdas unwind.
+              for (int i = 0; i < 5000 && uni->dead() < 2; ++i)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              dead_seen = uni->dead_ranks();
+            }
+          },
+          {.default_recv_timeout_ms = 100,
+           .faults = rt::FaultPlan{.kills = {{1, 4}, {3, 8}}}}),
+      rt::KilledError);
+
+  EXPECT_EQ(outcome[1], "killed");
+  EXPECT_EQ(outcome[3], "killed");
+  EXPECT_EQ(outcome[0], "ok");
+  EXPECT_EQ(outcome[2], "ok");
+  EXPECT_EQ(ctr("fault.killed") - killed0, 2u);
+  EXPECT_EQ(dead_seen, (std::vector<int>{1, 3}));
+}
+
+TEST(FaultRt, SurvivorTimeoutNamesDeadRankAndCountsDetection) {
+  // Survivor-side death detection: once the runtime has noted a kill, a
+  // survivor's timed-out wait names the dead rank in its message and bumps
+  // the fault.dead_rank_detected counter.
+  const auto detected0 = ctr("fault.dead_rank_detected");
+  std::string seen;
+  EXPECT_THROW(
+      rt::spawn(
+          2,
+          [&](rt::Communicator& world) {
+            const int r = world.rank();
+            rt::Universe* uni = world.universe();
+            if (r == 1) {
+              // First counted op trips the kill immediately; the KilledError
+              // unwinds the lambda, which is what notes the death.
+              world.send_value(0, 7, 1);
+              return;
+            }
+            for (int i = 0; i < 5000 && uni->dead() == 0; ++i)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ASSERT_EQ(uni->dead(), 1);
+            try {
+              (void)world.recv_value<int>(1, 9, nullptr, 100);
+              FAIL() << "recv from a dead rank must time out";
+            } catch (const rt::TimeoutError& e) {
+              seen = e.what();
+            }
+          },
+          {.default_recv_timeout_ms = 2000,
+           .faults = rt::FaultPlan{.kills = {{1, 0}}}}),
+      rt::KilledError);
+
+  EXPECT_NE(seen.find("known dead rank(s): 1"), std::string::npos) << seen;
+  EXPECT_NE(seen.find("fault-injected kill"), std::string::npos) << seen;
+  EXPECT_GT(ctr("fault.dead_rank_detected"), detected0);
 }
 
 TEST(FaultRt, SelfSendsAreExemptFromChaos) {

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "rt/runtime.hpp"
@@ -556,6 +558,77 @@ TEST(RtSubset, ValidatesMemberList) {
     auto sub = world.subset({1, 0});
     EXPECT_EQ(sub.rank(), 1 - world.rank());
   });
+}
+
+TEST(RtSubset, SubsetOnLiveSplitWorksAfterADeath) {
+  // The recovery path's rendezvous: subset() is a full-quorum collective
+  // (it delegates to split()), so after a death the survivors first carve a
+  // live-only communicator with split_live() and run subset() on THAT. The
+  // dead rank is not a member of the live comm and owes it nothing.
+  EXPECT_THROW(
+      rt::spawn(
+          4,
+          [](rt::Communicator& world) {
+            const int r = world.rank();
+            rt::Universe* uni = world.universe();
+            if (r == 2) {
+              // First counted op trips the scheduled kill; the unwinding
+              // KilledError is what flags the death in the universe.
+              world.send_value(0, 11, 1);
+              return;
+            }
+            for (int i = 0; i < 5000 && uni->dead() == 0; ++i)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ASSERT_EQ(uni->dead(), 1);
+            auto live = world.split_live(0, r, 5000);
+            ASSERT_FALSE(live.is_null());
+            ASSERT_EQ(live.size(), 3);  // live ranks 0,1,2 = world 0,1,3
+            // Pick two survivors, deliberately not in rank order: the list
+            // order carries into the new comm.
+            auto sub = live.subset({2, 0});
+            if (r == 1) {
+              EXPECT_TRUE(sub.is_null());
+            } else {
+              ASSERT_FALSE(sub.is_null());
+              EXPECT_EQ(sub.size(), 2);
+              EXPECT_EQ(sub.rank(), r == 3 ? 0 : 1);
+              EXPECT_EQ(sub.allreduce(r, [](int a, int b) { return a + b; }),
+                        3);
+            }
+          },
+          {.faults = rt::FaultPlan{.kills = {{2, 0}}}}),
+      rt::KilledError);
+}
+
+TEST(RtSubset, SplitLiveReleasesSurvivorsAfterADeath) {
+  // split_live() shrinks its rendezvous quorum to the ranks the universe
+  // does not report dead: a member that died before (or during) the call
+  // must not wedge the survivors the way a plain split() would.
+  EXPECT_THROW(
+      rt::spawn(
+          4,
+          [](rt::Communicator& world) {
+            const int r = world.rank();
+            rt::Universe* uni = world.universe();
+            if (r == 2) {
+              world.send_value(0, 11, 1);  // dies on its first counted op
+              return;
+            }
+            for (int i = 0; i < 5000 && uni->dead() == 0; ++i)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ASSERT_EQ(uni->dead(), 1);
+            // key = -rank orders the survivors in descending world rank,
+            // exercising the key sort alongside the live-only quorum.
+            auto sub = world.split_live(/*color=*/7, /*key=*/-r, 5000);
+            ASSERT_FALSE(sub.is_null());
+            EXPECT_EQ(sub.size(), 3);
+            const int expect = r == 3 ? 0 : (r == 1 ? 1 : 2);
+            EXPECT_EQ(sub.rank(), expect);
+            EXPECT_EQ(sub.allreduce(1, [](int a, int b) { return a + b; }),
+                      3);
+          },
+          {.faults = rt::FaultPlan{.kills = {{2, 0}}}}),
+      rt::KilledError);
 }
 
 TEST(RtEpochFence, SynchronizesAndReportsWait) {
