@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dad/descriptor.hpp"
+#include "rt/kernels.hpp"
 
 namespace mxn::dad {
 
@@ -86,18 +87,18 @@ class DistArray {
   /// Copy `region` (which must lie inside a single owned patch — schedule
   /// builders guarantee this by intersecting patch-by-patch) into `out` in
   /// row-major region order. Rows along the last axis are contiguous in
-  /// local storage, so this is a sequence of memcpys.
+  /// local storage; the run coalescer fuses full-width row sequences into
+  /// one memcpy and constant-delta row trains (thin slabs, halo columns)
+  /// into the block kernels (docs/PERFORMANCE.md).
   void extract(const Patch& region, T* out) const {
     const std::size_t pi = desc_->patch_containing(rank_, region);
     const Patch& owned = desc_->patches_of(rank_)[pi];
     const Index base = desc_->patch_base(rank_, pi);
-    Index written = 0;
+    rt::kernels::RunGather<T> rg(data_.data(), out);
     for_each_row(region, [&](const Point& row, Index len) {
-      const Index src = base + owned.offset_of(row);
-      std::memcpy(out + written, data_.data() + src,
-                  static_cast<std::size_t>(len) * sizeof(T));
-      written += len;
+      rg.add(base + owned.offset_of(row), 1, len);
     });
+    rg.flush();
   }
 
   /// Inverse of extract.
@@ -105,13 +106,11 @@ class DistArray {
     const std::size_t pi = desc_->patch_containing(rank_, region);
     const Patch& owned = desc_->patches_of(rank_)[pi];
     const Index base = desc_->patch_base(rank_, pi);
-    Index read = 0;
+    rt::kernels::RunScatter<T> rs(data_.data(), in);
     for_each_row(region, [&](const Point& row, Index len) {
-      const Index dst = base + owned.offset_of(row);
-      std::memcpy(data_.data() + dst, in + read,
-                  static_cast<std::size_t>(len) * sizeof(T));
-      read += len;
+      rs.add(base + owned.offset_of(row), 1, len);
     });
+    rs.flush();
   }
 
   [[nodiscard]] std::vector<T> extract(const Patch& region) const {

@@ -1,5 +1,7 @@
 #include "mct/router.hpp"
 
+#include <cstring>
+
 #include "sched/executor.hpp"
 
 namespace mxn::mct {
@@ -56,6 +58,42 @@ void sweep_ownership(const std::vector<linear::Segment>& mine,
   }
 }
 
+/// Pack one field's elements straight into the payload, in pack_span
+/// framing (u64 count + raw doubles — the wire format is unchanged), by
+/// replaying a compiled copy plan (the pattern never changes between
+/// transfers, so the segment walk and run coalescing were paid once at
+/// Router construction). Staging is only needed when the payload cursor
+/// lands misaligned for double.
+void pack_field(rt::PackBuffer& b, const rt::kernels::RunPlan& plan,
+                Index elements, const double* field) {
+  b.pack(static_cast<std::uint64_t>(elements));
+  const std::size_t nbytes =
+      static_cast<std::size_t>(elements) * sizeof(double);
+  std::byte* out = b.append_uninitialized(nbytes);
+  if (reinterpret_cast<std::uintptr_t>(out) % alignof(double) == 0) {
+    plan.gather(field, out, sizeof(double));
+    rt::note_bytes_copied(nbytes);
+  } else {
+    std::vector<double> staged(static_cast<std::size_t>(elements));
+    plan.gather(field, staged.data(), sizeof(double));
+    std::memcpy(out, staged.data(), nbytes);
+    rt::note_bytes_copied(2 * nbytes);
+  }
+}
+
+/// Mirror of pack_field: scatter one field's span out of the payload into
+/// `field` through the compiled plan, aliasing the payload bytes in place
+/// when aligned instead of copying them into a staging vector.
+void unpack_field(rt::UnpackBuffer& u, const rt::kernels::RunPlan& plan,
+                  Index elements, double* field, const char* mismatch_what) {
+  const auto n = u.unpack<std::uint64_t>();
+  if (static_cast<Index>(n) != elements) throw UsageError(mismatch_what);
+  auto raw = u.unpack_raw(n * sizeof(double));
+  std::vector<double> fallback;
+  const double* data = sched::detail::aligned_or_copy<double>(raw, fallback);
+  plan.scatter(field, data, sizeof(double));
+}
+
 /// Swap GSMaps leader-to-leader and broadcast the peer's within the cohort.
 GlobalSegMap exchange_gsm(RouterConfig& cfg, const GlobalSegMap& mine,
                           int tag) {
@@ -95,6 +133,8 @@ Router Router::build(RouterConfig cfg, const GlobalSegMap& mine,
                     r.peers_.push_back(std::move(peer));
                   });
   r.prov_ = provenance(mine, me);
+  for (auto& peer : r.peers_)
+    peer.plan = sched::compile_run_plan(r.prov_, peer.segs);
   r.local_size_ = mine.local_size(me);
   r.is_source_ = is_source;
   r.cfg_ = std::move(cfg);
@@ -118,13 +158,8 @@ void Router::send(const AttrVect& av) {
     rt::PackBuffer b;
     b.pack(nf);
     b.pack(peer.elements);
-    std::vector<double> buf(static_cast<std::size_t>(peer.elements));
-    for (int f = 0; f < nf; ++f) {
-      sched::copy_segments<double>(prov_, peer.segs,
-                                   const_cast<double*>(av.field(f).data()),
-                                   buf.data(), /*pack=*/true);
-      b.pack_span(std::span<const double>(buf));
-    }
+    for (int f = 0; f < nf; ++f)
+      pack_field(b, peer.plan, peer.elements, av.field(f).data());
     cfg_.channel.send(cfg_.peer_ranks.at(peer.peer), cfg_.tag + 1,
                       std::move(b).take());
   }
@@ -141,11 +176,9 @@ void Router::recv(AttrVect& av) {
     const auto elements = u.unpack<Index>();
     if (nf != av.nfields() || elements != peer.elements)
       throw UsageError("Router message does not match the schedule");
-    for (int f = 0; f < nf; ++f) {
-      auto buf = u.unpack_vector<double>();
-      sched::copy_segments<double>(prov_, peer.segs, av.field(f).data(),
-                                   buf.data(), /*pack=*/false);
-    }
+    for (int f = 0; f < nf; ++f)
+      unpack_field(u, peer.plan, peer.elements, av.field(f).data(),
+                   "Router message does not match the schedule");
   }
 }
 
@@ -179,6 +212,10 @@ Rearranger::Rearranger(rt::Communicator cohort, const GlobalSegMap& src,
                   });
   src_prov_ = provenance(src, me);
   dst_prov_ = provenance(dst, me);
+  for (auto& peer : sends_)
+    peer.plan = sched::compile_run_plan(src_prov_, peer.segs);
+  for (auto& peer : recvs_)
+    peer.plan = sched::compile_run_plan(dst_prov_, peer.segs);
   src_size_ = src.local_size(me);
   dst_size_ = dst.local_size(me);
 }
@@ -191,26 +228,16 @@ void Rearranger::rearrange(const AttrVect& src_av, AttrVect& dst_av) {
   const int nf = src_av.nfields();
   for (const auto& peer : sends_) {
     rt::PackBuffer b;
-    std::vector<double> buf(static_cast<std::size_t>(peer.elements));
-    for (int f = 0; f < nf; ++f) {
-      sched::copy_segments<double>(
-          src_prov_, peer.segs, const_cast<double*>(src_av.field(f).data()),
-          buf.data(), /*pack=*/true);
-      b.pack_span(std::span<const double>(buf));
-    }
+    for (int f = 0; f < nf; ++f)
+      pack_field(b, peer.plan, peer.elements, src_av.field(f).data());
     cohort_.send(peer.peer, tag_, std::move(b).take());
   }
   for (const auto& peer : recvs_) {
     auto msg = cohort_.recv(peer.peer, tag_);
     rt::UnpackBuffer u(msg.payload);
-    for (int f = 0; f < nf; ++f) {
-      auto buf = u.unpack_vector<double>();
-      if (static_cast<Index>(buf.size()) != peer.elements)
-        throw UsageError("Rearranger message does not match the schedule");
-      sched::copy_segments<double>(dst_prov_, peer.segs,
-                                   dst_av.field(f).data(), buf.data(),
-                                   /*pack=*/false);
-    }
+    for (int f = 0; f < nf; ++f)
+      unpack_field(u, peer.plan, peer.elements, dst_av.field(f).data(),
+                   "Rearranger message does not match the schedule");
   }
 }
 

@@ -3,6 +3,7 @@
 #include "mct/attr_vect.hpp"
 #include "mct/global_seg_map.hpp"
 #include "rt/communicator.hpp"
+#include "rt/kernels.hpp"
 
 namespace mxn::mct {
 
@@ -49,6 +50,7 @@ class Router {
     int peer = 0;  // peer cohort rank
     std::vector<linear::Segment> segs;
     Index elements = 0;
+    rt::kernels::RunPlan plan;  // compiled once; replayed per transfer
   };
 
   RouterConfig cfg_;
@@ -74,6 +76,7 @@ class Rearranger {
     int peer = 0;
     std::vector<linear::Segment> segs;
     Index elements = 0;
+    rt::kernels::RunPlan plan;  // compiled once; replayed per transfer
   };
 
   rt::Communicator cohort_;

@@ -1,6 +1,8 @@
 #include "rt/buffer.hpp"
 
+#include <cassert>
 #include <mutex>
+#include <new>
 
 #include "trace/trace.hpp"
 
@@ -54,6 +56,15 @@ Counters& counters() {
   return c;
 }
 
+/// Free a block and whatever storage flavor it owns: pooled/oversize blocks
+/// hold a kBufferAlign-aligned raw allocation, adopted blocks free through
+/// their vector.
+void destroy_block(detail::BufferBlock* b) {
+  if (b->data != nullptr && b->adopted.empty())
+    ::operator delete(b->data, std::align_val_t{kBufferAlign});
+  delete b;
+}
+
 }  // namespace
 
 void note_bytes_copied(std::size_t n) {
@@ -82,8 +93,12 @@ BufferBlock* pool_acquire(std::size_t n) {
   auto* b = new BufferBlock;
   b->bucket = bucket;
   b->size = n;
-  b->storage.resize(bucket >= 0 ? (std::size_t{1} << (kMinShift + bucket))
-                                : n);
+  const std::size_t cap =
+      bucket >= 0 ? (std::size_t{1} << (kMinShift + bucket)) : n;
+  b->data = static_cast<std::byte*>(
+      ::operator new(cap, std::align_val_t{kBufferAlign}));
+  // The alignment contract the pack/unpack kernels and view<T> rely on.
+  assert(reinterpret_cast<std::uintptr_t>(b->data) % kBufferAlign == 0);
   return b;
 }
 
@@ -91,7 +106,8 @@ BufferBlock* adopt_block(std::vector<std::byte> v) {
   auto* b = new BufferBlock;
   b->bucket = -1;
   b->size = v.size();
-  b->storage = std::move(v);
+  b->adopted = std::move(v);
+  b->data = b->adopted.data();
   return b;
 }
 
@@ -106,7 +122,7 @@ void block_release(BufferBlock* b) {
       return;
     }
   }
-  delete b;
+  destroy_block(b);
 }
 
 }  // namespace detail
@@ -129,7 +145,7 @@ void buffer_pool_trim() {
       detail::BufferBlock* b = shelf.head;
       shelf.head = b->next;
       --shelf.count;
-      delete b;
+      destroy_block(b);
     }
   }
 }

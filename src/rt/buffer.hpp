@@ -20,18 +20,29 @@ namespace mxn::rt {
 /// Buffer, injecting straight out of a received payload) add nothing.
 void note_bytes_copied(std::size_t n);
 
+/// Alignment of every pool-served payload block. 64 bytes covers a cache
+/// line and the widest vector width the copy kernels dispatch to, so a
+/// pooled payload can always be aliased as any fundamental T and entered
+/// into the SIMD pack/unpack kernels without the misalignment fallback
+/// (sched.align.fallback counts when that guarantee is missed — adopted
+/// vectors and serial-framed sub-spans are the only legitimate sources).
+inline constexpr std::size_t kBufferAlign = 64;
+
 namespace detail {
 
-/// Control block + storage of one payload. `storage` holds the bytes
-/// (bucket-sized for pooled blocks, caller-sized for adopted ones); `size`
-/// is the logical payload length. Blocks whose `bucket` is >= 0 return to
-/// the pool's per-bucket freelist when the last reference drops.
+/// Control block + storage of one payload. Pooled blocks (`bucket` >= 0)
+/// own a bucket-sized kBufferAlign-aligned allocation via `data`; adopted
+/// blocks keep the caller's vector storage (whatever operator new aligned
+/// it to) and point `data` into it. `size` is the logical payload length.
+/// Pooled blocks return to the pool's per-bucket freelist when the last
+/// reference drops.
 struct BufferBlock {
   std::atomic<std::uint32_t> refs{1};
   int bucket = -1;       // pool bucket index; -1 = unpooled (adopted/oversize)
-  std::size_t size = 0;  // logical payload size (<= storage.size())
-  std::vector<std::byte> storage;
-  BufferBlock* next = nullptr;  // pool freelist link
+  std::size_t size = 0;  // logical payload size (<= capacity)
+  std::byte* data = nullptr;       // payload bytes
+  std::vector<std::byte> adopted;  // backing store of adopted blocks
+  BufferBlock* next = nullptr;     // pool freelist link
 };
 
 BufferBlock* pool_acquire(std::size_t n);
@@ -94,7 +105,7 @@ class Buffer {
   static Buffer copy_of(std::span<const std::byte> src) {
     Buffer b = allocate(src.size());
     if (!src.empty()) {
-      std::memcpy(b.b_->storage.data(), src.data(), src.size());
+      std::memcpy(b.b_->data, src.data(), src.size());
       note_bytes_copied(src.size());
     }
     return b;
@@ -129,7 +140,7 @@ class Buffer {
   [[nodiscard]] std::size_t size() const { return b_ ? b_->size : 0; }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] const std::byte* data() const {
-    return b_ ? b_->storage.data() : nullptr;
+    return b_ ? b_->data : nullptr;
   }
 
   /// Write access; throws UsageError unless this handle is the sole owner.
@@ -138,7 +149,7 @@ class Buffer {
     if (b_->refs.load(std::memory_order_acquire) != 1)
       throw UsageError("Buffer::mutable_data on a shared buffer (payloads "
                        "are immutable once sent)");
-    return b_->storage.data();
+    return b_->data;
   }
 
   /// Reduce the logical size (sole owner only; storage is kept).
@@ -164,9 +175,10 @@ class Buffer {
   operator std::span<const std::byte>() const { return span(); }
 
   /// Alias the payload as a span of T without copying. Throws UsageError on
-  /// a size mismatch or when the storage is not aligned for T (pool and
-  /// vector storage come from operator new, so in practice any fundamental
-  /// T is aligned; a serial-framed sub-span may not be).
+  /// a size mismatch or when the storage is not aligned for T (pooled
+  /// blocks are kBufferAlign-aligned and vector storage comes from operator
+  /// new, so in practice any fundamental T is aligned; a serial-framed
+  /// sub-span may not be).
   template <class T>
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::span<const T> view() const {

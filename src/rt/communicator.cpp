@@ -40,7 +40,8 @@ CommState::CommState(Universe* u, std::vector<int> member_ids)
     : uni(u), members(std::move(member_ids)) {
   boxes.reserve(members.size());
   for (std::size_t i = 0; i < members.size(); ++i)
-    boxes.push_back(std::make_unique<Mailbox>(uni, members[i]));
+    boxes.push_back(std::make_unique<Mailbox>(
+        uni, members[i], static_cast<int>(members.size())));
   entries.resize(members.size());
   present.resize(members.size(), 0);
   results.resize(members.size());

@@ -1,111 +1,174 @@
 #include "rt/mailbox.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "rt/error.hpp"
 #include "trace/trace.hpp"
 
 namespace mxn::rt {
 
-Mailbox::Mailbox(Universe* uni, int owner_rank)
-    : uni_(uni), owner_(owner_rank) {
+namespace {
+
+bool envelope_matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+trace::Counter& contention_counter() {
+  static trace::Counter& c = trace::counter("rt.mailbox.lane_contention");
+  return c;
+}
+
+/// Lock a lane's micro-lock, counting the (rare) collisions between the
+/// lane's producer and the box's consumer.
+std::unique_lock<std::mutex> lock_lane(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contention_counter().add(1);
+    lock.lock();
+  }
+  return lock;
+}
+
+}  // namespace
+
+Mailbox::Mailbox(Universe* uni, int owner_rank, int nlanes)
+    : uni_(uni),
+      owner_(owner_rank),
+      nlanes_(nlanes > 0 ? nlanes : 0),
+      lanes_(new Lane[static_cast<std::size_t>(nlanes_) + 1]) {
   uni_->register_mailbox(this);
 }
 
 Mailbox::~Mailbox() { uni_->unregister_mailbox(this); }
 
+Mailbox::Lane& Mailbox::lane_for(int src) {
+  return lanes_[src >= 0 && src < nlanes_ ? src : nlanes_];
+}
+
 void Mailbox::put(Message msg, bool reorder) {
+  Lane& ln = lane_for(msg.src);
   {
-    std::lock_guard lock(mu_);
+    auto lock = lock_lane(ln.mu);
     if (reorder)
-      q_.push_front(std::move(msg));
+      ln.q.push_front(std::move(msg));
     else
-      q_.push_back(std::move(msg));
+      ln.q.push_back(std::move(msg));
+    // seq_cst: Dekker pair with the consumer's waiting_ store (below). If
+    // the consumer's scan missed this message, this store precedes our
+    // waiting_ load in the seq_cst order, which forces that load to see the
+    // consumer waiting — so we ring the bell. Symmetrically, if we read
+    // waiting_ == false, the consumer's scan is guaranteed to see n > 0.
+    ln.n.fetch_add(1, std::memory_order_seq_cst);
   }
   uni_->note_activity();
-  cv_.notify_all();
+  if (waiting_.load(std::memory_order_seq_cst)) {
+    // Ring under the bell mutex: the consumer is either parked on bell_cv_
+    // (gets the notify) or running its predicate while holding bell_mu_
+    // (will rescan before parking) — a wakeup cannot fall in the gap.
+    std::lock_guard<std::mutex> bell(bell_mu_);
+    bell_cv_.notify_all();
+  }
 }
 
-int Mailbox::find_match(int src, int tag) const {
-  for (std::size_t i = 0; i < q_.size(); ++i) {
-    const Message& m = q_[i];
-    if ((src == kAnySource || m.src == src) &&
-        (tag == kAnyTag || m.tag == tag)) {
-      return static_cast<int>(i);
+std::optional<Message> Mailbox::take_from(Lane& ln, int src, int tag,
+                                          const Pred* pred) {
+  if (ln.n.load(std::memory_order_seq_cst) == 0) return std::nullopt;
+  auto lock = lock_lane(ln.mu);
+  for (auto it = ln.q.begin(); it != ln.q.end(); ++it) {
+    if (envelope_matches(*it, src, tag) && (pred == nullptr || (*pred)(*it))) {
+      Message out = std::move(*it);
+      ln.q.erase(it);
+      ln.n.fetch_sub(1, std::memory_order_seq_cst);
+      return out;
     }
   }
-  return -1;
+  return std::nullopt;
 }
 
-Message Mailbox::take_at(int idx) {
-  Message out = std::move(q_[idx]);
-  q_.erase(q_.begin() + idx);
-  return out;
+std::optional<Message> Mailbox::scan(int src, int tag, const Pred* pred) {
+  if (src != kAnySource) return take_from(lane_for(src), src, tag, pred);
+  const int n = nlanes_ + 1;
+  const int start = rr_.load(std::memory_order_relaxed) % n;
+  for (int i = 0; i < n; ++i) {
+    const int li = (start + i) % n;
+    if (auto m = take_from(lanes_[li], src, tag, pred)) {
+      // Resume the next wildcard scan after the lane just served, so a
+      // chatty low-numbered peer cannot starve the others.
+      rr_.store((li + 1) % n, std::memory_order_relaxed);
+      return m;
+    }
+  }
+  return std::nullopt;
 }
 
-Message Mailbox::get(int src, int tag, int timeout_ms) {
+Message Mailbox::blocking_get(int src, int tag, const Pred* pred,
+                              int timeout_ms) {
   uni_->fault_on_op(owner_);
-  std::unique_lock lock(mu_);
-  int idx = find_match(src, tag);
-  if (idx < 0) {
+  // Fast path: no doorbell traffic when the message already arrived.
+  if (auto m = scan(src, tag, pred)) return std::move(*m);
+
+  std::unique_lock<std::mutex> lock(bell_mu_);
+  // Announce BEFORE scanning again (inside blocked_wait's predicate): with
+  // both this store and the producer's lane-count store seq_cst, either the
+  // producer sees waiting_ == true and rings, or our rescan sees its
+  // deposit — the lost-wakeup interleaving is impossible. blocked_wait's
+  // 50 ms deadlock/abort tick backstops the bell regardless.
+  waiting_.store(true, std::memory_order_seq_cst);
+  std::optional<Message> found;
+  try {
     static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
     trace::Span wait("rt.wait", "rt", 0, &wait_ns);
     uni_->blocked_wait(
-        lock, cv_, "recv",
+        lock, bell_cv_, "recv",
         [&] {
-          idx = find_match(src, tag);
-          return idx >= 0;
+          found = scan(src, tag, pred);
+          return found.has_value();
         },
         timeout_ms);
+  } catch (...) {
+    waiting_.store(false, std::memory_order_seq_cst);
+    throw;
   }
-  return take_at(idx);
+  waiting_.store(false, std::memory_order_seq_cst);
+  return std::move(*found);
 }
 
-int Mailbox::find_match_if(
-    int src, int tag,
-    const std::function<bool(const Message&)>& pred) const {
-  for (std::size_t i = 0; i < q_.size(); ++i) {
-    const Message& m = q_[i];
-    if ((src == kAnySource || m.src == src) &&
-        (tag == kAnyTag || m.tag == tag) && pred(m)) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
+Message Mailbox::get(int src, int tag, int timeout_ms) {
+  return blocking_get(src, tag, nullptr, timeout_ms);
 }
 
 Message Mailbox::get_if(int src, int tag,
                         const std::function<bool(const Message&)>& pred,
                         int timeout_ms) {
-  uni_->fault_on_op(owner_);
-  std::unique_lock lock(mu_);
-  int idx = find_match_if(src, tag, pred);
-  if (idx < 0) {
-    static trace::Histogram& wait_ns = trace::histogram("rt.recv_wait_ns");
-    trace::Span wait("rt.wait", "rt", 0, &wait_ns);
-    uni_->blocked_wait(
-        lock, cv_, "recv",
-        [&] {
-          idx = find_match_if(src, tag, pred);
-          return idx >= 0;
-        },
-        timeout_ms);
-  }
-  return take_at(idx);
+  return blocking_get(src, tag, &pred, timeout_ms);
 }
 
 std::optional<Message> Mailbox::try_get(int src, int tag) {
-  std::lock_guard lock(mu_);
-  const int idx = find_match(src, tag);
-  if (idx < 0) return std::nullopt;
-  return take_at(idx);
+  return scan(src, tag, nullptr);
 }
 
 bool Mailbox::probe(int src, int tag) {
-  std::lock_guard lock(mu_);
-  return find_match(src, tag) >= 0;
+  const auto peek = [&](Lane& ln) {
+    if (ln.n.load(std::memory_order_seq_cst) == 0) return false;
+    auto lock = lock_lane(ln.mu);
+    for (const Message& m : ln.q)
+      if (envelope_matches(m, src, tag)) return true;
+    return false;
+  };
+  if (src != kAnySource) return peek(lane_for(src));
+  for (int li = 0; li <= nlanes_; ++li)
+    if (peek(lanes_[li])) return true;
+  return false;
 }
 
-void Mailbox::notify() { cv_.notify_all(); }
+// Deliberately lock-free: abort/deadlock wakers call this for EVERY box,
+// from inside a blocked_wait that already holds the CALLER's bell mutex —
+// taking bell_mu_ here would self-deadlock the box notifying itself and
+// ABBA-deadlock two boxes notifying each other. A waiter that misses the
+// naked notify re-checks the abort/deadlock flags at its next 50 ms tick,
+// so the wake is delayed, never lost.
+void Mailbox::notify() { bell_cv_.notify_all(); }
 
 }  // namespace mxn::rt

@@ -7,6 +7,7 @@
 
 #include "dad/dist_array.hpp"
 #include "rt/buffer.hpp"
+#include "rt/kernels.hpp"
 #include "sched/coupling.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
@@ -55,14 +56,18 @@ void drain_arrival_order(rt::Communicator& channel,
 }
 
 /// Alias `bytes` as a T array when alignment permits; otherwise fall back to
-/// one counted copy into `fallback`. Pool and vector storage come from
-/// operator new (aligned to 16), so the fallback only triggers for exotic T
-/// or offset sub-spans.
+/// one counted copy into `fallback`. Pooled payloads are kBufferAlign-aligned
+/// and vector storage comes from operator new, so the fallback only triggers
+/// for over-aligned T or serial-framed sub-spans; "sched.align.fallback"
+/// counts every trip so an alignment regression on the hot path is visible
+/// in the trace report rather than a silent slowdown.
 template <class T>
 const T* aligned_or_copy(std::span<const std::byte> bytes,
                          std::vector<T>& fallback) {
   if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(T) == 0)
     return reinterpret_cast<const T*>(bytes.data());
+  static trace::Counter& fallbacks = trace::counter("sched.align.fallback");
+  fallbacks.add(1);
   fallback.resize(bytes.size() / sizeof(T));
   std::memcpy(fallback.data(), bytes.data(), bytes.size());
   rt::note_bytes_copied(bytes.size());
@@ -98,11 +103,74 @@ void for_each_segment_run(const std::vector<linear::ProvenancedSegment>& prov,
 }  // namespace detail
 
 /// Pack the elements of `segs` (ascending, each covered by the footprint in
-/// `prov`) from local storage into a linear-ordered buffer.
+/// `prov`) from local storage into a linear-ordered buffer. The raw runs of
+/// the walk are streamed through rt::kernels::RunGather, which coalesces
+/// adjacent unit-stride runs into single memcpys, fuses constant-delta run
+/// trains into block kernels, and dispatches pure strided gathers to the
+/// SIMD tiers (docs/PERFORMANCE.md, "Copy kernels").
 template <class T>
 void pack_segments(const std::vector<linear::ProvenancedSegment>& prov,
                    const std::vector<linear::Segment>& segs, const T* local,
                    T* buf) {
+  rt::kernels::RunGather<T> rg(local, buf);
+  detail::for_each_segment_run(
+      prov, segs,
+      [&](Index s0, Index stride, Index /*k*/, Index n) {
+        // Runs arrive in buffer order, so the coalescer's implicit cursor
+        // tracks k exactly.
+        rg.add(s0, stride, n);
+      });
+  rg.flush();
+}
+
+/// Mirror image of pack_segments: scatter a linear-ordered buffer back into
+/// local storage, through the same coalescing kernel layer.
+template <class T>
+void unpack_segments(const std::vector<linear::ProvenancedSegment>& prov,
+                     const std::vector<linear::Segment>& segs, T* local,
+                     const T* buf) {
+  rt::kernels::RunScatter<T> rs(local, buf);
+  detail::for_each_segment_run(
+      prov, segs,
+      [&](Index s0, Index stride, Index /*k*/, Index n) {
+        rs.add(s0, stride, n);
+      });
+  rs.flush();
+}
+
+/// Compile the (footprint, segments) walk into a reusable
+/// rt::kernels::RunPlan. pack_segments/unpack_segments re-walk and
+/// re-coalesce on every call, which is right for one-shot transfers; a
+/// caller that ships the same pattern repeatedly (the mct Router and
+/// Rearranger reuse one schedule every timestep) compiles once and replays
+/// with plan.gather()/plan.scatter(), paying only for the copies.
+inline rt::kernels::RunPlan compile_run_plan(
+    const std::vector<linear::ProvenancedSegment>& prov,
+    const std::vector<linear::Segment>& segs) {
+  rt::kernels::RunPlan plan;
+  rt::kernels::RunCoalescer co(
+      [](void* ctx, const rt::kernels::BlockRun& r) {
+        static_cast<rt::kernels::RunPlan*>(ctx)->add(r);
+      },
+      &plan);
+  detail::for_each_segment_run(
+      prov, segs,
+      [&](Index s0, Index stride, Index /*k*/, Index n) {
+        co.add(s0, stride, n);
+      });
+  co.flush();
+  return plan;
+}
+
+/// Reference implementation of pack_segments: the plain scalar loops the
+/// kernel layer replaced. Kept (not just for history) as the oracle for the
+/// differential kernel tests and the baseline arm of the pack/unpack
+/// microbenchmark — byte-identical output to pack_segments is a hard
+/// invariant.
+template <class T>
+void pack_segments_scalar(const std::vector<linear::ProvenancedSegment>& prov,
+                          const std::vector<linear::Segment>& segs,
+                          const T* local, T* buf) {
   detail::for_each_segment_run(
       prov, segs, [&](Index s0, Index stride, Index k, Index n) {
         if (stride == 1)
@@ -113,12 +181,11 @@ void pack_segments(const std::vector<linear::ProvenancedSegment>& prov,
       });
 }
 
-/// Mirror image of pack_segments: scatter a linear-ordered buffer back into
-/// local storage.
+/// Scalar reference for unpack_segments; see pack_segments_scalar.
 template <class T>
-void unpack_segments(const std::vector<linear::ProvenancedSegment>& prov,
-                     const std::vector<linear::Segment>& segs, T* local,
-                     const T* buf) {
+void unpack_segments_scalar(
+    const std::vector<linear::ProvenancedSegment>& prov,
+    const std::vector<linear::Segment>& segs, T* local, const T* buf) {
   detail::for_each_segment_run(
       prov, segs, [&](Index s0, Index stride, Index k, Index n) {
         if (stride == 1)
