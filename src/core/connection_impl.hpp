@@ -5,8 +5,10 @@
 // (elastic re-establishment after a layout splice). Not a public header.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/mxn_component.hpp"
+#include "core/transmission_policy.hpp"
 #include "sched/schedule.hpp"
 
 namespace mxn::core {
@@ -45,7 +47,14 @@ struct MxNComponent::Connection {
   ConnectionSpec spec;
   bool i_am_src = false;
   bool i_am_dst = false;
-  const sched::RegionSchedule* schedule = nullptr;  // null on spectators
+  // Shared pin into the schedule cache (null on spectators): keeps the
+  // schedule alive even if a bounded cache evicts the entry under other
+  // tenants' pressure.
+  std::shared_ptr<const sched::RegionSchedule> schedule;
+  // How this connection's bytes move — derived from the spec's flags at
+  // establish time (policy_from_spec), overridable per tenant via
+  // MxNComponent::set_policy.
+  std::shared_ptr<const TransmissionPolicy> policy;
   sched::Coupling coupling;
   int seq = 0;
   int src_calls = 0;

@@ -5,8 +5,7 @@
 #include <map>
 
 #include "core/connection_impl.hpp"
-#include "core/erased_exec.hpp"
-#include "core/reliable_exchange.hpp"
+#include "core/transmission_policy.hpp"
 #include "sched/schedule.hpp"
 #include "trace/trace.hpp"
 
@@ -133,6 +132,7 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
   c->seq = seq_++;
   c->i_am_src = side_ == spec.src_side;
   c->i_am_dst = !c->i_am_src;
+  c->policy = policy_from_spec(spec);
 
   const std::string& local_name =
       c->i_am_src ? spec.src_field : spec.dst_field;
@@ -172,7 +172,7 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
 
   const int my_src = c->i_am_src ? cohort_.rank() : -1;
   const int my_dst = c->i_am_dst ? cohort_.rank() : -1;
-  c->schedule = &cache_.get(src_desc, dst_desc, my_src, my_dst);
+  c->schedule = cache_.get_shared(src_desc, dst_desc, my_src, my_dst);
 
   const ConnectionId id = next_id_++;
   connections_[id] = std::move(c);
@@ -182,89 +182,22 @@ ConnectionId MxNComponent::establish_impl(const ConnectionSpec& spec) {
 void MxNComponent::run_transfer(Connection& c) {
   trace::Span span("mxn.transfer", "mxn",
                    static_cast<std::uint64_t>(c.seq));
-  if (c.spec.reliable)
-    run_transfer_reliable(c);
-  else
-    run_transfer_loose(c);
+  TransferContext ctx;
+  ctx.schedule = c.schedule.get();
+  ctx.src = c.i_am_src ? &field(c.spec.src_field) : nullptr;
+  ctx.dst = c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
+  ctx.coupling = &c.coupling;
+  ctx.data_tag = c.data_tag();
+  ctx.ack_tag = c.ack_tag();
+  ctx.commit_tag = c.commit_tag();
+  ctx.timeout_ms = c.spec.timeout_ms;
+  ctx.max_retries = c.spec.max_retries;
+  ctx.serial = &c.epoch;
+  ctx.seq = c.seq;
+  ctx.stats = &c.stats;
+  c.policy->transfer(ctx);
   ++c.stats.transfers;
   if (c.spec.one_shot) c.retired = true;
-}
-
-void MxNComponent::run_transfer_loose(Connection& c) {
-  const FieldRegistration* src =
-      c.i_am_src ? &field(c.spec.src_field) : nullptr;
-  const FieldRegistration* dst =
-      c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
-  const MovedCounts moved =
-      execute_erased(*c.schedule, src, dst, c.coupling, c.data_tag());
-  c.stats.elements += moved.elements;
-  c.stats.bytes += moved.bytes;
-  static trace::Counter& transfers = trace::counter("mxn.transfers");
-  static trace::Counter& bytes = trace::counter("mxn.bytes");
-  transfers.add(1);
-  bytes.add(moved.bytes);
-
-  if (c.spec.handshake) {
-    trace::Span hs("mxn.handshake", "mxn");
-    rt::Communicator channel = c.coupling.channel;
-    if (c.i_am_dst) {
-      for (const auto& pr : c.schedule->recvs)
-        channel.send(c.coupling.src_ranks.at(pr.peer), c.ack_tag(),
-                     std::vector<std::byte>{});
-    } else {
-      for (const auto& pr : c.schedule->sends)
-        channel.recv(c.coupling.dst_ranks.at(pr.peer), c.ack_tag());
-    }
-  }
-}
-
-// One attempt of the two-phase reliable protocol (docs/FAULTS.md), delegated
-// to the shared run_reliable_attempt — the same exchange that migrates
-// patches during an elastic rescale (rescale.cpp). Returns false on a
-// retryable timeout.
-bool MxNComponent::try_transfer_attempt(Connection& c) {
-  ReliableExchange x;
-  x.schedule = c.schedule;
-  x.src = c.i_am_src ? &field(c.spec.src_field) : nullptr;
-  x.dst = c.i_am_dst ? &field(c.spec.dst_field) : nullptr;
-  x.coupling = &c.coupling;
-  x.data_tag = c.data_tag();
-  x.ack_tag = c.ack_tag();
-  x.commit_tag = c.commit_tag();
-  x.timeout_ms = c.spec.timeout_ms;
-  x.serial = &c.epoch;
-  const auto moved = run_reliable_attempt(x);
-  if (!moved) return false;
-  c.stats.elements += moved->elements;
-  c.stats.bytes += moved->bytes;
-  static trace::Counter& transfers = trace::counter("mxn.transfers");
-  static trace::Counter& bytes = trace::counter("mxn.bytes");
-  transfers.add(1);
-  bytes.add(moved->bytes);
-  return true;
-}
-
-void MxNComponent::run_transfer_reliable(Connection& c) {
-  static trace::Counter& retries = trace::counter("mxn.retries");
-  static trace::Counter& failures = trace::counter("mxn.transfer_failures");
-  const int attempts = 1 + std::max(0, c.spec.max_retries);
-  for (int a = 0; a < attempts; ++a) {
-    if (a > 0) {
-      ++c.stats.retries;
-      retries.add(1);
-      trace::instant("mxn.retry", "mxn", static_cast<std::uint64_t>(c.seq));
-    }
-    if (try_transfer_attempt(c)) return;
-  }
-  ++c.stats.failures;
-  failures.add(1);
-  trace::instant("mxn.transfer_failure", "mxn",
-                 static_cast<std::uint64_t>(c.seq));
-  throw TransferError(
-      "reliable transfer on connection seq " + std::to_string(c.seq) +
-      " ('" + c.spec.src_field + "' -> '" + c.spec.dst_field +
-      "') failed after " + std::to_string(attempts) +
-      " attempts; destination field left untouched");
 }
 
 int MxNComponent::data_ready(const std::string& field_name) {
@@ -289,6 +222,40 @@ int MxNComponent::data_ready(const std::string& field_name) {
     }
   }
   return moved;
+}
+
+bool MxNComponent::data_ready_connection(ConnectionId id) {
+  trace::Span span("mxn.data_ready_connection", "mxn");
+  if (elastic_ && side_ < 0)
+    throw UsageError("spectator ranks hold no data; data_ready is for side "
+                     "members only");
+  auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw UsageError("no such connection: " + std::to_string(id));
+  Connection& c = *it->second;
+  if (c.retired) return false;
+  if (c.i_am_src) {
+    ++c.src_calls;
+    if (c.src_calls % c.spec.period != 0) return false;
+  }
+  run_transfer(c);
+  return true;
+}
+
+void MxNComponent::set_policy(
+    ConnectionId id, std::shared_ptr<const TransmissionPolicy> policy) {
+  if (!policy) throw UsageError("set_policy: null policy");
+  auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw UsageError("no such connection: " + std::to_string(id));
+  it->second->policy = std::move(policy);
+}
+
+const char* MxNComponent::policy_name(ConnectionId id) const {
+  auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw UsageError("no such connection: " + std::to_string(id));
+  return it->second->policy->name();
 }
 
 void MxNComponent::disconnect(ConnectionId id) {

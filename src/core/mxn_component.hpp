@@ -16,6 +16,8 @@ namespace mxn::core {
 
 using ConnectionId = int;
 
+class TransmissionPolicy;  // core/transmission_policy.hpp
+
 /// How a coupling moves data (paper §4.1, unifying the PAWS and CUMULVS
 /// connection models under one interface):
 ///  - one_shot == true: a single transfer (PAWS send/receive pairing); the
@@ -195,6 +197,39 @@ class MxNComponent final : public Component, public MxNService {
 
   [[nodiscard]] int side() const { return side_; }
 
+  // --- multi-tenant fabric hooks (src/fabric, docs/PERFORMANCE.md) ---------
+  /// Drive exactly one connection's transfer, regardless of which field it
+  /// couples — the per-tenant analogue of data_ready(field), used by the
+  /// fabric to tick tenants independently. Period gating applies on the
+  /// source side as in data_ready. Returns true if the connection moved
+  /// data (false if retired or gated off this call).
+  bool data_ready_connection(ConnectionId id);
+
+  /// Replace the connection's transmission policy (eager / rendezvous /
+  /// reliable two-phase / custom) chosen at establish time from the spec's
+  /// flags. Local: each side may be overridden independently, but the two
+  /// sides' policies must agree on the wire protocol they speak.
+  void set_policy(ConnectionId id,
+                  std::shared_ptr<const TransmissionPolicy> policy);
+  /// The connection's current policy name ("eager", "rendezvous", ...).
+  [[nodiscard]] const char* policy_name(ConnectionId id) const;
+
+  /// Re-shard and budget this component's schedule cache (see
+  /// sched::ScheduleCacheConfig). Connections pin their schedules, so
+  /// eviction under a byte budget never invalidates an established tenant.
+  void configure_schedule_cache(const sched::ScheduleCacheConfig& cfg) {
+    cache_.configure(cfg);
+  }
+  [[nodiscard]] sched::ScheduleCache::Stats schedule_cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] std::size_t schedule_cache_bytes() const {
+    return cache_.bytes();
+  }
+  [[nodiscard]] std::size_t schedule_cache_evicted() const {
+    return cache_.evicted();
+  }
+
   // --- elastic rescaling (docs/RESCALING.md) -------------------------------
   /// Live repartition of this component onto `new_layout`, channel-collective
   /// over EVERY channel rank (members of either side and spectators alike):
@@ -268,9 +303,6 @@ class MxNComponent final : public Component, public MxNService {
   ConnectionId establish_impl(const ConnectionSpec& spec);
   ConnectionId establish_elastic(const ConnectionSpec& spec);
   void run_transfer(Connection& c);
-  void run_transfer_loose(Connection& c);
-  void run_transfer_reliable(Connection& c);
-  bool try_transfer_attempt(Connection& c);
   /// Channel-collective broadcast of a descriptor from `root_channel_rank`
   /// (which packs `mine`; other ranks pass null and unpack the result).
   dad::DescriptorPtr bcast_descriptor(int root_channel_rank,

@@ -132,6 +132,7 @@ ConnectionId MxNComponent::establish_elastic(const ConnectionSpec& spec) {
   c->seq = seq_++;
   c->i_am_src = side_ >= 0 && side_ == spec.src_side;
   c->i_am_dst = side_ >= 0 && side_ == 1 - spec.src_side;
+  c->policy = policy_from_spec(spec);
 
   if (c->i_am_src || c->i_am_dst) {
     const std::string& local_name =
@@ -163,7 +164,7 @@ ConnectionId MxNComponent::establish_elastic(const ConnectionSpec& spec) {
   if (side_ >= 0) {
     const int my_src = c->i_am_src ? cohort_.rank() : -1;
     const int my_dst = c->i_am_dst ? cohort_.rank() : -1;
-    c->schedule = &cache_.get(src_desc, dst_desc, my_src, my_dst);
+    c->schedule = cache_.get_shared(src_desc, dst_desc, my_src, my_dst);
   }
 
   const ConnectionId id = next_id_++;
@@ -372,7 +373,7 @@ void MxNComponent::reestablish_connections() {
     if (side_ >= 0) {
       const int my_src = c.i_am_src ? cohort_.rank() : -1;
       const int my_dst = c.i_am_dst ? cohort_.rank() : -1;
-      c.schedule = &cache_.get(src_desc, dst_desc, my_src, my_dst);
+      c.schedule = cache_.get_shared(src_desc, dst_desc, my_src, my_dst);
     } else {
       c.schedule = nullptr;
     }

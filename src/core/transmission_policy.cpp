@@ -1,0 +1,103 @@
+#include "core/transmission_policy.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/erased_exec.hpp"
+#include "core/reliable_exchange.hpp"
+#include "trace/trace.hpp"
+
+namespace mxn::core {
+
+namespace {
+
+// The shared loose data movement both eager and rendezvous ride on.
+void run_loose(const TransferContext& ctx) {
+  const MovedCounts moved = execute_erased(*ctx.schedule, ctx.src, ctx.dst,
+                                           *ctx.coupling, ctx.data_tag);
+  ctx.stats->elements += moved.elements;
+  ctx.stats->bytes += moved.bytes;
+  static trace::Counter& transfers = trace::counter("mxn.transfers");
+  static trace::Counter& bytes = trace::counter("mxn.bytes");
+  transfers.add(1);
+  bytes.add(moved.bytes);
+}
+
+}  // namespace
+
+void EagerPolicy::transfer(const TransferContext& ctx) const {
+  run_loose(ctx);
+}
+
+void RendezvousPolicy::transfer(const TransferContext& ctx) const {
+  run_loose(ctx);
+  trace::Span hs("mxn.handshake", "mxn");
+  rt::Communicator channel = ctx.coupling->channel;
+  if (ctx.dst) {
+    for (const auto& pr : ctx.schedule->recvs)
+      channel.send(ctx.coupling->src_ranks.at(pr.peer), ctx.ack_tag,
+                   std::vector<std::byte>{});
+  }
+  if (ctx.src) {
+    for (const auto& pr : ctx.schedule->sends)
+      channel.recv(ctx.coupling->dst_ranks.at(pr.peer), ctx.ack_tag);
+  }
+}
+
+void ReliableTwoPhasePolicy::transfer(const TransferContext& ctx) const {
+  static trace::Counter& retries = trace::counter("mxn.retries");
+  static trace::Counter& failures = trace::counter("mxn.transfer_failures");
+  const int attempts = 1 + std::max(0, ctx.max_retries);
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      ++ctx.stats->retries;
+      retries.add(1);
+      trace::instant("mxn.retry", "mxn", static_cast<std::uint64_t>(ctx.seq));
+    }
+    // One attempt of the two-phase protocol (docs/FAULTS.md), delegated to
+    // the shared run_reliable_attempt — the same exchange that migrates
+    // patches during an elastic rescale (rescale.cpp).
+    ReliableExchange x;
+    x.schedule = ctx.schedule;
+    x.src = ctx.src;
+    x.dst = ctx.dst;
+    x.coupling = ctx.coupling;
+    x.data_tag = ctx.data_tag;
+    x.ack_tag = ctx.ack_tag;
+    x.commit_tag = ctx.commit_tag;
+    x.timeout_ms = ctx.timeout_ms;
+    x.serial = ctx.serial;
+    const auto moved = run_reliable_attempt(x);
+    if (moved) {
+      ctx.stats->elements += moved->elements;
+      ctx.stats->bytes += moved->bytes;
+      static trace::Counter& transfers = trace::counter("mxn.transfers");
+      static trace::Counter& bytes = trace::counter("mxn.bytes");
+      transfers.add(1);
+      bytes.add(moved->bytes);
+      return;
+    }
+  }
+  ++ctx.stats->failures;
+  failures.add(1);
+  trace::instant("mxn.transfer_failure", "mxn",
+                 static_cast<std::uint64_t>(ctx.seq));
+  throw TransferError(
+      "reliable transfer on connection seq " + std::to_string(ctx.seq) +
+      " failed after " + std::to_string(attempts) +
+      " attempts; destination field left untouched");
+}
+
+std::shared_ptr<const TransmissionPolicy> policy_from_spec(
+    const ConnectionSpec& spec) {
+  static const auto eager = std::make_shared<const EagerPolicy>();
+  static const auto rendezvous = std::make_shared<const RendezvousPolicy>();
+  static const auto reliable =
+      std::make_shared<const ReliableTwoPhasePolicy>();
+  if (spec.reliable) return reliable;
+  if (spec.handshake) return rendezvous;
+  return eager;
+}
+
+}  // namespace mxn::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/field.hpp"
+#include "core/mxn_component.hpp"
+#include "sched/coupling.hpp"
+#include "sched/schedule.hpp"
+
+namespace mxn::core {
+
+/// Everything one transfer attempt needs, bundled so a policy object can run
+/// it without reaching into MxNComponent internals. All pointers borrow from
+/// the owning connection for the duration of the call.
+struct TransferContext {
+  const sched::RegionSchedule* schedule = nullptr;
+  const FieldRegistration* src = nullptr;  // null unless this rank sends
+  const FieldRegistration* dst = nullptr;  // null unless this rank receives
+  const sched::Coupling* coupling = nullptr;
+  int data_tag = 0;
+  int ack_tag = 0;
+  int commit_tag = 0;
+  int timeout_ms = -1;
+  int max_retries = 0;
+  std::uint64_t* serial = nullptr;  // reliable attempt serial (two-phase)
+  int seq = 0;                      // connection seq, for trace labels
+  TransferStats* stats = nullptr;
+};
+
+/// How a connection's bytes move, separated from the component that owns the
+/// connection ("Promoting Component Reuse by Separating Transmission Policy
+/// from Implementation", Walker et al.). A policy is chosen per connection —
+/// per tenant in a multi-tenant fabric — either derived from the
+/// ConnectionSpec's wire-level flags (policy_from_spec) or installed
+/// explicitly via MxNComponent::set_policy. Policies are stateless and
+/// shareable across connections; all per-connection state lives in the
+/// TransferContext.
+class TransmissionPolicy {
+ public:
+  virtual ~TransmissionPolicy() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Run one logical transfer. Throws TransferError if the policy exhausts
+  /// its delivery strategy (reliable mode), rt::TimeoutError on a plain
+  /// receive deadline.
+  virtual void transfer(const TransferContext& ctx) const = 0;
+};
+
+/// Loose, buffered delivery: the source pushes and runs ahead freely
+/// (sends complete eagerly into mailboxes); no acknowledgement.
+class EagerPolicy : public TransmissionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "eager"; }
+  void transfer(const TransferContext& ctx) const override;
+};
+
+/// Eager data movement plus a per-peer ack handshake: the source blocks
+/// until every destination peer confirmed receipt, bounding producer/
+/// consumer skew (the "tight synchronization" option of paper §4.1).
+class RendezvousPolicy : public TransmissionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "rendezvous"; }
+  void transfer(const TransferContext& ctx) const override;
+};
+
+/// Two-phase (stage → ack → commit) delivery with serial-framed retries —
+/// docs/FAULTS.md. A faulted attempt leaves the destination untouched;
+/// exhaustion raises TransferError.
+class ReliableTwoPhasePolicy : public TransmissionPolicy {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "reliable-two-phase";
+  }
+  void transfer(const TransferContext& ctx) const override;
+};
+
+/// Map a spec's wire-level flags to the policy they historically selected:
+/// reliable → two-phase, handshake → rendezvous, otherwise eager. The flags
+/// still travel on the wire unchanged, so both sides derive the same policy
+/// independently. Returns a shared singleton per kind (policies are
+/// stateless).
+std::shared_ptr<const TransmissionPolicy> policy_from_spec(
+    const ConnectionSpec& spec);
+
+}  // namespace mxn::core

@@ -130,8 +130,11 @@ using OwnershipPtr = std::shared_ptr<const std::vector<OwnedSegment>>;
 /// footprint(), memoized process-wide per (descriptor, rank, linearization)
 /// — keyed by the descriptor's structural hash plus a shape fingerprint, so
 /// structurally equal descriptor objects share entries. Thread-safe; the
-/// returned vector is immutable and outlives cache clears. Hits/misses are
-/// counted by `sched.footprint.hits` / `sched.footprint.misses`.
+/// returned vector is immutable and outlives cache clears and evictions.
+/// Hits/misses are counted by `sched.footprint.hits` /
+/// `sched.footprint.misses`; a lookup that loses a concurrent build race is
+/// neither (it's billed to `sched.footprint.races`), so the tallies stay
+/// exact under threads.
 SegmentsPtr footprint_cached(const dad::Descriptor& desc, int rank,
                              const Linearization& lin);
 
@@ -143,13 +146,36 @@ std::vector<OwnedSegment> ownership_map(const dad::Descriptor& desc,
                                         const Linearization& lin);
 
 /// ownership_map(), memoized like footprint_cached (keyed with rank = -1).
+/// Billed to its own `sched.ownership.hits` / `sched.ownership.misses`
+/// counters; the per-rank footprint lookups its build path runs internally
+/// are NOT billed to the footprint tallies (they are a build detail, not
+/// application lookups — billing them inflated the footprint hit rate
+/// exactly when the cache was coldest).
 OwnershipPtr ownership_map_cached(const dad::Descriptor& desc,
                                   const Linearization& lin);
 
+/// Sizing knobs for the process-wide footprint/ownership cache. Defaults
+/// reproduce the historical behaviour: one shard, no bounds. A serving
+/// workload with many live descriptor shapes configures shards (lock
+/// spreading) and budgets; over budget, least-recently-used entries are
+/// evicted (`sched.footprint.evicted`) — returned SegmentsPtr/OwnershipPtr
+/// handles stay valid, eviction only drops the cache's reference.
+struct FootprintCacheConfig {
+  std::size_t shards = 1;       // rounded up to a power of two
+  std::size_t max_entries = 0;  // total entry cap, 0 = unbounded
+  std::size_t max_bytes = 0;    // total byte budget, 0 = unbounded
+};
+void footprint_cache_configure(const FootprintCacheConfig& cfg);
+
 struct FootprintCacheStats {
-  std::size_t hits = 0;
-  std::size_t misses = 0;
-  std::size_t entries = 0;
+  std::size_t hits = 0;    // footprint_cached outcomes only
+  std::size_t misses = 0;  // ...a miss is a build this caller performed
+  std::size_t ownership_hits = 0;    // ownership_map_cached outcomes
+  std::size_t ownership_misses = 0;
+  std::size_t races = 0;      // lost concurrent-build races (not misses)
+  std::size_t evictions = 0;  // LRU evictions under a configured budget
+  std::size_t entries = 0;    // footprints + ownership maps resident
+  std::size_t bytes = 0;      // resident payload bytes
 };
 [[nodiscard]] FootprintCacheStats footprint_cache_stats();
 void footprint_cache_clear();

@@ -28,10 +28,10 @@ std::vector<int> parallel_params(const sidl::Method& m) {
   return out;
 }
 
-// Kinds carried on a connection's return-tag stream: ordinary returns and
+// Kinds carried on a connection's return-tag stream: ordinary returns,
 // mid-call pull requests for deferred parallel parameters (§2.4, second
-// strategy).
-enum class ReplyKind : std::uint8_t { Return = 0, Pull = 1 };
+// strategy), and coalesced batch returns.
+enum class ReplyKind : std::uint8_t { Return = 0, Pull = 1, Batch = 2 };
 
 // Per-parallel-parameter layout flags in the layout reply.
 enum class LayoutKind : std::uint8_t { Registered = 0, Deferred = 1 };
@@ -213,7 +213,7 @@ int DistributedFramework::serve(const std::string& comp_name, int max_calls) {
   while (!shutdown && (max_calls < 0 || served < max_calls)) {
     rt::Message msg =
         world_.recv(rt::kAnySource, listen_tag(provider.index));
-    if (dispatch(provider, std::move(msg), &shutdown)) ++served;
+    served += dispatch(provider, std::move(msg), &shutdown);
   }
   return served;
 }
@@ -228,7 +228,7 @@ int DistributedFramework::drain(const std::string& comp_name) {
   bool shutdown = false;
   while (!shutdown && world_.probe(rt::kAnySource, tag)) {
     rt::Message msg = world_.recv(rt::kAnySource, tag);
-    if (dispatch(provider, std::move(msg), &shutdown)) ++served;
+    served += dispatch(provider, std::move(msg), &shutdown);
   }
   return served;
 }
@@ -273,6 +273,7 @@ int DistributedFramework::serve_ordered(const std::string& comp_name,
             break;
           }
           case MsgKind::InvokeIndependent:
+          case MsgKind::InvokeBatch:
             throw UsageError(
                 "independent invocations cannot be globally ordered; use "
                 "serve() for ports with independent methods");
@@ -329,8 +330,8 @@ int DistributedFramework::serve_ordered(const std::string& comp_name,
   return served;
 }
 
-bool DistributedFramework::dispatch(ComponentInfo& provider, rt::Message msg,
-                                    bool* shutdown) {
+int DistributedFramework::dispatch(ComponentInfo& provider, rt::Message msg,
+                                   bool* shutdown) {
   rt::UnpackBuffer u(msg.payload);
   const auto kind = static_cast<MsgKind>(u.unpack<std::uint8_t>());
   const int conn_id = u.unpack<int>();
@@ -343,15 +344,21 @@ bool DistributedFramework::dispatch(ComponentInfo& provider, rt::Message msg,
 
   switch (kind) {
     case MsgKind::Invoke:
-      return handle_invoke(conn, servant, u, /*independent=*/false, msg.src);
+      return handle_invoke(conn, servant, u, /*independent=*/false, msg.src)
+                 ? 1
+                 : 0;
     case MsgKind::InvokeIndependent:
-      return handle_invoke(conn, servant, u, /*independent=*/true, msg.src);
+      return handle_invoke(conn, servant, u, /*independent=*/true, msg.src)
+                 ? 1
+                 : 0;
+    case MsgKind::InvokeBatch:
+      return handle_invoke_batch(conn, servant, u, msg.src);
     case MsgKind::LayoutRequest:
       handle_layout_request(conn, servant, u, msg.src);
-      return false;
+      return 0;
     case MsgKind::Shutdown:
       *shutdown = true;
-      return false;
+      return 0;
   }
   throw UsageError("corrupt PRMI header");
 }
@@ -573,6 +580,98 @@ bool DistributedFramework::handle_invoke(ConnectionInfo& conn,
   return true;
 }
 
+int DistributedFramework::handle_invoke_batch(ConnectionInfo& conn,
+                                              Servant& servant,
+                                              rt::UnpackBuffer& u,
+                                              int src_world) {
+  trace::Span span("prmi.handle_batch", "prmi",
+                   static_cast<std::uint64_t>(conn.id));
+  const int epoch = u.unpack<int>();
+  const int first_seq = u.unpack<int>();
+  const int count = u.unpack<int>();
+  const auto participants = u.unpack_vector<int>();
+
+  // Batch-wide dedup: the batch travelled as ONE wire message, so delivery
+  // is all-or-nothing — if its first sub-sequence is at or below the
+  // per-source watermark, this rank already executed the whole batch (the
+  // watermark only advances past first_seq when the batch completes).
+  // Answer wholesale from the reply cache.
+  int& last = conn.last_seq[src_world];
+  if (first_seq <= last) {
+    static trace::Counter& dups = trace::counter("prmi.dup_requests");
+    dups.add(1);
+    trace::instant("prmi.dup_request", "prmi",
+                   static_cast<std::uint64_t>(first_seq));
+    auto it = conn.reply_cache.find(src_world);
+    if (it != conn.reply_cache.end() && it->second.first == first_seq)
+      world_.send(src_world, return_tag(conn.id), it->second.second);
+    return 0;
+  }
+  if (epoch > 0)
+    trace::instant("prmi.late_first_delivery", "prmi",
+                   static_cast<std::uint64_t>(epoch));
+
+  auto& provider = comp(conn.prov_comp);
+  CalleeContext ctx;
+  ctx.cohort = provider.cohort;
+  ctx.caller_count = static_cast<int>(participants.size());
+  ctx.collective = false;
+
+  rt::PackBuffer reply;
+  reply.pack(static_cast<std::uint8_t>(ReplyKind::Batch));
+  reply.pack(first_seq);
+  reply.pack(count);
+  int executed = 0;
+  for (int i = 0; i < count; ++i) {
+    const int seq = u.unpack<int>();
+    const int midx = u.unpack<int>();
+    const auto arg_bytes = u.unpack_vector<std::byte>();
+    const auto& m = servant.interface_desc().methods.at(midx);
+    if (!parallel_params(m).empty())
+      throw UsageError("batched call to '" + m.name +
+                       "' carries parallel parameters");
+    rt::UnpackBuffer au(arg_bytes);
+    std::vector<Value> args(m.params.size());
+    for (std::size_t p = 0; p < m.params.size(); ++p)
+      if (takes_input(m.params[p].mode))
+        args[p] = unpack_value(au, m.params[p].type);
+    ctx.seq = seq;
+    Value ret;
+    CallStatus status = CallStatus::Ok;
+    std::string error;
+    try {
+      ret = servant.handler(m.name)(ctx, args);
+    } catch (const std::exception& e) {
+      status = CallStatus::Error;
+      error = e.what();
+    }
+    reply.pack(static_cast<std::uint8_t>(status));
+    reply.pack(seq);
+    if (status == CallStatus::Ok) {
+      if (m.ret.kind != sidl::TypeKind::Void) pack_value(reply, ret, m.ret);
+      for (std::size_t p = 0; p < m.params.size(); ++p)
+        if (yields_output(m.params[p].mode))
+          pack_value(reply, args[p], m.params[p].type);
+    } else {
+      reply.pack(error);
+    }
+    last = seq;
+    ++executed;
+  }
+
+  static trace::Counter& batches = trace::counter("prmi.batches");
+  static trace::Counter& batched = trace::counter("prmi.batched_calls");
+  batches.add(1);
+  batched.add(static_cast<std::uint64_t>(executed));
+
+  // One reply block: the cache entry and the send share it, and a
+  // retransmitted batch resends it without re-execution.
+  const rt::Buffer reply_bytes = std::move(reply).take_buffer();
+  conn.reply_cache[src_world] = {first_seq, reply_bytes};
+  world_.send(src_world, return_tag(conn.id), reply_bytes);
+  return executed;
+}
+
 // ===========================================================================
 // RemotePort
 // ===========================================================================
@@ -650,6 +749,11 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
                                       std::vector<Value> args,
                                       bool oneway_call, int target) {
   auto& conn = fw_->conns_.at(conn_);
+  if (!pending_.empty())
+    throw UsageError("proxy has " + std::to_string(pending_.size()) +
+                     " queued batched call(s); flush_batch() before making "
+                     "non-batched calls (sequence numbers must hit the wire "
+                     "in order)");
   const int midx = iface_.method_index(method_name);
   const auto& m = iface_.methods[midx];
   const int caller_count = static_cast<int>(participants_world_.size());
@@ -815,8 +919,17 @@ RemotePort::Result RemotePort::invoke(MsgKind kind,
         continue;
       }
       rt::UnpackBuffer peek(msg.payload);
-      if (static_cast<ReplyKind>(peek.unpack<std::uint8_t>()) ==
-          ReplyKind::Return) {
+      const auto rkind = static_cast<ReplyKind>(peek.unpack<std::uint8_t>());
+      if (rkind == ReplyKind::Batch) {
+        // A duplicated batch reply from an earlier flush (retry fallout);
+        // the flush that owned it already completed, so it is always stale
+        // by the time a plain call is in flight.
+        static trace::Counter& stale = trace::counter("prmi.stale_replies");
+        stale.add(1);
+        trace::instant("prmi.stale_reply", "prmi");
+        continue;
+      }
+      if (rkind == ReplyKind::Return) {
         (void)peek.unpack<std::uint8_t>();  // status
         const int rseq = peek.unpack<int>();
         if (rseq < seq) {  // stale duplicate of an earlier call's reply
@@ -910,6 +1023,162 @@ RemotePort::Result RemotePort::call_independent(const std::string& method,
                      "' is collective; use call / call_oneway");
   return invoke(MsgKind::InvokeIndependent, method, std::move(args),
                 m.oneway, target);
+}
+
+int RemotePort::queue_independent(const std::string& method,
+                                  std::vector<Value> args, int target) {
+  auto& conn = fw_->conns_.at(conn_);
+  const int midx = iface_.method_index(method);
+  const auto& m = iface_.methods[midx];
+  if (m.kind != sidl::InvocationKind::Independent)
+    throw UsageError("method '" + method +
+                     "' is collective; only independent calls can be "
+                     "batched");
+  if (m.oneway)
+    throw UsageError("oneway methods cannot be batched (a batch completes "
+                     "through its reply)");
+  if (!parallel_params(m).empty())
+    throw UsageError("method '" + method +
+                     "' has parallel parameters; its data streams cannot "
+                     "be coalesced");
+  if (args.size() != m.params.size())
+    throw UsageError("method '" + method + "' takes " +
+                     std::to_string(m.params.size()) + " arguments, got " +
+                     std::to_string(args.size()));
+  for (std::size_t i = 0; i < m.params.size(); ++i) {
+    const auto& p = m.params[i];
+    if (p.mode == Mode::Out) continue;  // slot
+    if (!conforms(args[i], p.type))
+      throw TypeMismatch("argument '" + p.name + "' of '" + method +
+                         "' does not match " + p.type.to_string());
+  }
+  const int callee_count = static_cast<int>(conn.callee_ranks.size());
+  if (target < 0) target = cohort_.rank() % callee_count;
+  if (target >= callee_count)
+    throw UsageError("independent call target rank out of range");
+
+  PendingCall pc;
+  pc.seq = ++*seq_;  // the ordinary per-connection counter: dedup machinery
+                     // sees batched and plain calls as one stream
+  pc.midx = midx;
+  pc.target = target;
+  rt::PackBuffer b;
+  for (std::size_t i = 0; i < m.params.size(); ++i)
+    if (takes_input(m.params[i].mode)) pack_value(b, args[i], m.params[i].type);
+  pc.args = std::move(b).take();
+  pending_.push_back(std::move(pc));
+  return static_cast<int>(pending_.size()) - 1;
+}
+
+std::vector<RemotePort::Result> RemotePort::flush_batch() {
+  if (pending_.empty()) return {};
+  auto& conn = fw_->conns_.at(conn_);
+
+  static trace::Counter& batches = trace::counter("prmi.batches_sent");
+  static trace::Counter& batched = trace::counter("prmi.batched_calls_sent");
+  trace::Span span("prmi.flush_batch", "prmi", pending_.size());
+
+  // Group queued calls by target callee, preserving queue order per target.
+  std::map<int, std::vector<std::size_t>> by_target;
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    by_target[pending_[i].target].push_back(i);
+
+  // One wire message per target. Rebuilt per attempt (the epoch field
+  // distinguishes retransmissions, as for plain calls).
+  auto make_batch = [&](int target, const std::vector<std::size_t>& idxs,
+                        int epoch) {
+    rt::PackBuffer b;
+    b.pack(static_cast<std::uint8_t>(MsgKind::InvokeBatch));
+    b.pack(conn_);
+    b.pack(epoch);
+    b.pack(pending_[idxs.front()].seq);  // first_seq: the dedup key
+    b.pack(static_cast<int>(idxs.size()));
+    b.pack(participants_world_);
+    for (std::size_t i : idxs) {
+      b.pack(pending_[i].seq);
+      b.pack(pending_[i].midx);
+      b.pack(pending_[i].args);
+    }
+    (void)target;
+    return std::move(b).take_buffer();
+  };
+  for (const auto& [target, idxs] : by_target) {
+    fw_->world_.send(conn.callee_ranks[target], conn.listen,
+                     make_batch(target, idxs, /*epoch=*/0));
+    batches.add(1);
+    batched.add(idxs.size());
+  }
+
+  // Collect one batch reply per target. Receives are per-source, so
+  // replies from different targets cannot be confused; per-(src, tag) FIFO
+  // keeps each target's stream ordered.
+  const bool can_retry = retry_ && retry_->max_retries > 0;
+  const int wait_ms = retry_ ? retry_->timeout_ms : -1;
+  std::vector<Result> results(pending_.size());
+  for (const auto& [target, idxs] : by_target) {
+    const int src_world = conn.callee_ranks[target];
+    const int first_seq = pending_[idxs.front()].seq;
+    int attempt = 0;
+    rt::Message msg;
+    while (true) {
+      try {
+        msg = fw_->world_.recv(src_world, return_tag(conn_), wait_ms);
+      } catch (const rt::TimeoutError&) {
+        if (!can_retry || attempt >= retry_->max_retries) {
+          pending_.clear();  // the batch is poisoned; don't wedge the proxy
+          throw;
+        }
+        ++attempt;
+        static trace::Counter& retries = trace::counter("prmi.retries");
+        retries.add(1);
+        trace::instant("prmi.retry", "prmi",
+                       static_cast<std::uint64_t>(first_seq));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry_->backoff_ms * attempt));
+        fw_->world_.send(src_world, conn.listen,
+                         make_batch(target, idxs, attempt));
+        continue;
+      }
+      rt::UnpackBuffer peek(msg.payload);
+      const auto rkind = static_cast<ReplyKind>(peek.unpack<std::uint8_t>());
+      if (rkind == ReplyKind::Batch && peek.unpack<int>() == first_seq) break;
+      // Anything else on this stream predates the batch: a duplicated
+      // reply to an earlier (plain or batched) call. Discard.
+      static trace::Counter& stale = trace::counter("prmi.stale_replies");
+      stale.add(1);
+      trace::instant("prmi.stale_reply", "prmi");
+    }
+
+    rt::UnpackBuffer u(msg.payload);
+    (void)u.unpack<std::uint8_t>();  // ReplyKind::Batch
+    (void)u.unpack<int>();           // first_seq
+    const int count = u.unpack<int>();
+    if (count != static_cast<int>(idxs.size()))
+      throw UsageError("batch reply count mismatch on connection " +
+                       std::to_string(conn_));
+    for (std::size_t i : idxs) {
+      const auto& m = iface_.methods[pending_[i].midx];
+      const auto status = static_cast<CallStatus>(u.unpack<std::uint8_t>());
+      const int rseq = u.unpack<int>();
+      if (rseq != pending_[i].seq)
+        throw UsageError("batch reply sequence mismatch on connection " +
+                         std::to_string(conn_));
+      if (status == CallStatus::Error) {
+        const std::string error = u.unpack_string();
+        pending_.clear();
+        throw RemoteError(error);
+      }
+      Result r;
+      if (m.ret.kind != sidl::TypeKind::Void) r.ret = unpack_value(u, m.ret);
+      r.args.resize(m.params.size());
+      for (std::size_t p = 0; p < m.params.size(); ++p)
+        if (yields_output(m.params[p].mode))
+          r.args[p] = unpack_value(u, m.params[p].type);
+      results[i] = std::move(r);
+    }
+  }
+  pending_.clear();
+  return results;
 }
 
 void RemotePort::shutdown_provider() {

@@ -137,15 +137,24 @@ class DistributedFramework {
   ComponentInfo& comp(const std::string& name);
   const ComponentInfo& comp(const std::string& name) const;
 
-  /// Provider-side processing of one listen-tag message; returns true if it
-  /// was a real invocation, false for control traffic. Sets *shutdown when
+  /// Provider-side processing of one listen-tag message; returns how many
+  /// fresh invocations it carried (a batch header carries several), 0 for
+  /// control traffic and deduplicated retransmissions. Sets *shutdown when
   /// a Shutdown notice was handled.
-  bool dispatch(ComponentInfo& provider, rt::Message msg, bool* shutdown);
+  int dispatch(ComponentInfo& provider, rt::Message msg, bool* shutdown);
 
   /// Returns true when a fresh invocation was executed, false when the
   /// header was a retransmission (deduplicated; cached reply resent).
   bool handle_invoke(ConnectionInfo& conn, Servant& servant,
                      rt::UnpackBuffer& u, bool independent, int src_world);
+  /// Coalesced independent sub-calls from one caller rank: executes each in
+  /// order, answers with a single batch reply, and advances the per-source
+  /// watermark to the last sub-sequence — so a retransmitted batch (its
+  /// first sub-seq at or below the watermark) is answered wholesale from
+  /// the reply cache without re-executing anything. Returns the number of
+  /// sub-calls executed (0 for a retransmission).
+  int handle_invoke_batch(ConnectionInfo& conn, Servant& servant,
+                          rt::UnpackBuffer& u, int src_world);
   void handle_layout_request(ConnectionInfo& conn, Servant& servant,
                              rt::UnpackBuffer& u, int src_world);
 
@@ -187,6 +196,28 @@ class RemotePort {
   /// rank `target` (default: caller_rank % N).
   Result call_independent(const std::string& method, std::vector<Value> args,
                           int target = -1);
+
+  /// Batching/coalescing of small independent calls: queue locally instead
+  /// of sending, then flush_batch() ships ONE wire message per distinct
+  /// target callee carrying every queued sub-call, and one reply message
+  /// per target carries every result back — collapsing 2·k messages into 2
+  /// per (peer, drain tick). Queueable methods are independent, non-oneway,
+  /// and take simple (non-parallel) arguments only; each queued call draws
+  /// its sequence number from the connection's ordinary counter, so
+  /// exactly-once semantics ride the existing seq/dedup machinery (a
+  /// retransmitted batch is answered from the provider's reply cache).
+  /// Plain calls on this proxy are rejected while a batch is open. Returns
+  /// the call's position in the queue (its index in flush_batch's result).
+  int queue_independent(const std::string& method, std::vector<Value> args,
+                        int target = -1);
+
+  /// Ship every queued call and wait for all results, in queue order.
+  /// Retries per the proxy's RetryPolicy (whole batches are resent and
+  /// deduplicated wholesale). No-op returning {} on an empty queue.
+  std::vector<Result> flush_batch();
+
+  /// Calls currently queued and not yet flushed.
+  [[nodiscard]] std::size_t queued() const { return pending_.size(); }
 
   /// Send a shutdown notice to the provider's serve loops (collective over
   /// the caller cohort). Ordering caveat: the notice is FIFO-ordered only
@@ -239,10 +270,18 @@ class RemotePort {
   const std::vector<std::optional<dad::DescriptorPtr>>& layouts(
       int method_idx, const sidl::Method& m);
 
+  struct PendingCall {
+    int seq = 0;
+    int midx = 0;
+    int target = 0;           // callee cohort rank
+    std::vector<std::byte> args;  // packed simple inputs
+  };
+
   DistributedFramework* fw_;
   int conn_;
   sidl::Interface iface_;
   rt::Communicator cohort_;
+  std::vector<PendingCall> pending_;
   // Shared across a connection's proxies (parent + subsets): the provider
   // checks per-source monotonicity.
   std::shared_ptr<int> seq_ = std::make_shared<int>(0);

@@ -41,6 +41,7 @@ enum class MsgKind : std::uint8_t {
   InvokeIndependent, // one-to-one invocation
   LayoutRequest,     // fetch the callee's parallel-parameter layouts
   Shutdown,          // end a serve() loop
+  InvokeBatch,       // coalesced independent invocations, one per sub-header
 };
 
 /// Return statuses.

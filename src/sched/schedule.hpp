@@ -45,6 +45,17 @@ struct RegionSchedule {
   [[nodiscard]] std::size_t message_count() const {
     return sends.size() + recvs.size();
   }
+
+  /// Approximate resident size, for cache byte budgets: the struct plus the
+  /// capacity of every region vector (Patch is a flat POD).
+  [[nodiscard]] std::size_t byte_size() const {
+    std::size_t b = sizeof(RegionSchedule);
+    b += sends.capacity() * sizeof(PeerRegions);
+    b += recvs.capacity() * sizeof(PeerRegions);
+    for (const auto& p : sends) b += p.regions.capacity() * sizeof(Patch);
+    for (const auto& p : recvs) b += p.regions.capacity() * sizeof(Patch);
+    return b;
+  }
 };
 
 /// How build_region_schedule derives the intersections. Every path produces

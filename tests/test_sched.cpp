@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
 
 #include "rt/runtime.hpp"
 #include "sched/cache.hpp"
@@ -528,4 +530,164 @@ TEST(ScheduleCache, CachedScheduleServesEveryConformingArray) {
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.hits(), 1u);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Sharded / bounded schedule cache (multi-tenant fabric, docs/PERFORMANCE.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Distinct 1-D descriptors over the SAME 24-element template (schedules
+/// require identical shapes): varying the block-cyclic block size varies
+/// the structural hash, so each index is a distinct cache key family.
+DescriptorPtr tenant_desc(int i) {
+  return dad::make_regular(
+      std::vector<AxisDist>{AxisDist::block_cyclic(24, 2, 1 + i)});
+}
+
+}  // namespace
+
+TEST(ScheduleCache, ClearResetsTallies) {
+  auto src = tenant_desc(0);
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+  sched::ScheduleCache cache;
+  cache.get(src, dst, 0, -1);
+  cache.get(src, dst, 0, -1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A cleared cache reports a clean slate: tallies must not describe rates
+  // against entries that no longer exist.
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evicted(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+
+  // ...and keeps counting correctly afterwards.
+  cache.get(src, dst, 0, -1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ScheduleCache, EntryCapEvictsLeastRecentlyUsed) {
+  sched::ScheduleCacheConfig cfg;
+  cfg.max_entries = 2;
+  sched::ScheduleCache cache(cfg);
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+
+  cache.get(tenant_desc(0), dst, 0, -1);
+  cache.get(tenant_desc(1), dst, 0, -1);
+  cache.get(tenant_desc(0), dst, 0, -1);  // touch 0: 1 is now coldest
+  EXPECT_EQ(cache.evicted(), 0u);
+
+  cache.get(tenant_desc(2), dst, 0, -1);  // over cap: evicts 1
+  EXPECT_EQ(cache.evicted(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  const auto hits_before = cache.hits();
+  cache.get(tenant_desc(0), dst, 0, -1);  // survivor: hit
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  const auto misses_before = cache.misses();
+  cache.get(tenant_desc(1), dst, 0, -1);  // victim: rebuilt
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(ScheduleCache, ByteBudgetBoundsResidency) {
+  // Learn one entry's cost, then budget for ~3 of them and insert 8.
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+  sched::ScheduleCache probe;
+  probe.get(tenant_desc(0), dst, 0, -1);
+  const std::size_t per_entry = probe.bytes();
+  ASSERT_GT(per_entry, 0u);
+
+  sched::ScheduleCacheConfig cfg;
+  cfg.max_bytes = 3 * per_entry + per_entry / 2;
+  sched::ScheduleCache cache(cfg);
+  for (int i = 0; i < 8; ++i) cache.get(tenant_desc(i), dst, 0, -1);
+  EXPECT_GT(cache.evicted(), 0u);
+  EXPECT_LE(cache.bytes(), cfg.max_bytes);
+  EXPECT_LT(cache.size(), 8u);
+}
+
+TEST(ScheduleCache, GetSharedPinsScheduleAcrossEviction) {
+  sched::ScheduleCacheConfig cfg;
+  cfg.max_entries = 1;
+  sched::ScheduleCache cache(cfg);
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+
+  auto pinned = cache.get_shared(tenant_desc(0), dst, 0, -1);
+  const std::size_t messages = pinned->message_count();
+  cache.get(tenant_desc(1), dst, 0, -1);  // evicts tenant 0's entry
+  cache.get(tenant_desc(2), dst, 0, -1);  // evicts tenant 1's entry
+  EXPECT_GE(cache.evicted(), 2u);
+
+  // The pin keeps the evicted schedule fully alive and unchanged.
+  EXPECT_EQ(pinned->message_count(), messages);
+  EXPECT_FALSE(pinned->sends.empty() && pinned->recvs.empty());
+}
+
+TEST(ScheduleCache, ConfigureReshardsWithoutLosingEntries) {
+  sched::ScheduleCache cache;
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+  for (int i = 0; i < 6; ++i) cache.get(tenant_desc(i), dst, 0, -1);
+  EXPECT_EQ(cache.size(), 6u);
+  const std::size_t bytes = cache.bytes();
+
+  sched::ScheduleCacheConfig cfg;
+  cfg.shards = 4;  // unbounded, just spread
+  cache.configure(cfg);
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_EQ(cache.bytes(), bytes);
+
+  const auto misses_before = cache.misses();
+  for (int i = 0; i < 6; ++i) cache.get(tenant_desc(i), dst, 0, -1);
+  EXPECT_EQ(cache.misses(), misses_before);  // all redistributed entries hit
+}
+
+TEST(ScheduleCache, ConcurrentLookupsAndRetirementStayExact) {
+  // TSan-covered: many tenant threads hammer get()/get_shared() across a
+  // sharded, budgeted cache while another thread advances the epoch and
+  // retires old generations. The tallies must stay exact: every lookup is
+  // either a hit or a miss (builds run inside the shard lock), regardless
+  // of interleaving with eviction and retirement.
+  sched::ScheduleCacheConfig cfg;
+  cfg.shards = 4;
+  cfg.max_entries = 16;
+  sched::ScheduleCache cache(cfg);
+  auto dst = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(24, 2)});
+
+  constexpr int kThreads = 4;
+  constexpr int kLookups = 200;
+  constexpr int kKeys = 24;  // > max_entries, so eviction happens live
+  std::vector<DescriptorPtr> descs;
+  for (int i = 0; i < kKeys; ++i) descs.push_back(tenant_desc(i));
+
+  std::atomic<bool> stop{false};
+  std::thread retirer([&] {
+    std::uint64_t e = 1;
+    while (!stop.load()) {
+      cache.set_epoch(e);
+      cache.retire_epochs_before(e);
+      ++e;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> tenants;
+  for (int t = 0; t < kThreads; ++t) {
+    tenants.emplace_back([&, t] {
+      for (int i = 0; i < kLookups; ++i) {
+        auto s = cache.get_shared(descs[(t * 7 + i) % kKeys], dst, 0, -1);
+        EXPECT_GT(s->message_count(), 0u);
+      }
+    });
+  }
+  for (auto& th : tenants) th.join();
+  stop.store(true);
+  retirer.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::size_t>(kThreads) * kLookups);
 }

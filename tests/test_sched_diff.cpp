@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <random>
+#include <thread>
 
 #include "dad/dist_array.hpp"
 #include "linear/linearization.hpp"
@@ -520,4 +522,117 @@ TEST(DeltaSchedule, ValidatesChannelRankLists) {
                 2 * d.local_elements,
             d.wire.send_elements() + d.wire.recv_elements() +
                 2 * d.local_elements);
+}
+
+// ---------------------------------------------------------------------------
+// Footprint/ownership cache accounting (ISSUE 9 satellite bugfixes)
+// ---------------------------------------------------------------------------
+
+TEST(FootprintCache, ClearResetsTallies) {
+  auto d = dad::make_regular(std::vector<AxisDist>{AxisDist::block(48, 4)});
+  const auto l = lin::Linearization::row_major(1, Point{48, 0, 0, 0});
+
+  lin::footprint_cache_clear();
+  (void)lin::footprint_cached(*d, 0, l);
+  (void)lin::footprint_cached(*d, 0, l);
+  (void)lin::ownership_map_cached(*d, l);
+  auto s = lin::footprint_cache_stats();
+  EXPECT_GT(s.hits + s.misses + s.ownership_hits + s.ownership_misses, 0u);
+
+  lin::footprint_cache_clear();
+  s = lin::footprint_cache_stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.ownership_hits, 0u);
+  EXPECT_EQ(s.ownership_misses, 0u);
+  EXPECT_EQ(s.races, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+TEST(FootprintCache, OwnershipBilledToItsOwnCounters) {
+  auto d = dad::make_regular(std::vector<AxisDist>{AxisDist::cyclic(96, 6)});
+  const auto l = lin::Linearization::row_major(1, Point{96, 0, 0, 0});
+
+  lin::footprint_cache_clear();
+  // A cold ownership-map build is ONE ownership miss — the per-rank
+  // footprint lookups its build path runs internally are a build detail
+  // and must not inflate the footprint tallies.
+  (void)lin::ownership_map_cached(*d, l);
+  auto s = lin::footprint_cache_stats();
+  EXPECT_EQ(s.ownership_misses, 1u);
+  EXPECT_EQ(s.ownership_hits, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // The build did seed the per-rank footprint entries, though: a real
+  // application footprint lookup now hits, billed to the footprint tally.
+  (void)lin::footprint_cached(*d, 3, l);
+  s = lin::footprint_cache_stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // And a repeat ownership lookup is an ownership hit, not a footprint one.
+  (void)lin::ownership_map_cached(*d, l);
+  s = lin::footprint_cache_stats();
+  EXPECT_EQ(s.ownership_hits, 1u);
+  EXPECT_EQ(s.ownership_misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  lin::footprint_cache_clear();
+}
+
+TEST(FootprintCache, ConcurrentColdLookupsCountOneMissRestRacesOrHits) {
+  auto d = dad::make_regular(std::vector<AxisDist>{AxisDist::block(256, 8)});
+  const auto l = lin::Linearization::row_major(1, Point{256, 0, 0, 0});
+
+  lin::footprint_cache_clear();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  std::vector<lin::SegmentsPtr> out(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {}  // start line: maximize the race
+      out[t] = lin::footprint_cached(*d, 5, l);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Everyone got the same immutable footprint...
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(*out[t], *out[0]);
+  // ...and the tallies stay exact: exactly one thread's build won (the
+  // miss); every other thread either hit or lost the insert race — a racer
+  // performed a redundant build but neither hit nor missed the cache.
+  const auto s = lin::footprint_cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.races, static_cast<std::size_t>(kThreads) - 1);
+  lin::footprint_cache_clear();
+}
+
+TEST(FootprintCache, BudgetEvictsButHandlesStayValid) {
+  auto d = dad::make_regular(std::vector<AxisDist>{AxisDist::block(512, 32)});
+  const auto l = lin::Linearization::row_major(1, Point{512, 0, 0, 0});
+
+  lin::footprint_cache_clear();
+  lin::FootprintCacheConfig cfg;
+  cfg.shards = 2;
+  cfg.max_entries = 8;
+  lin::footprint_cache_configure(cfg);
+
+  std::vector<lin::SegmentsPtr> held;
+  for (int r = 0; r < 32; ++r) held.push_back(lin::footprint_cached(*d, r, l));
+  auto s = lin::footprint_cache_stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.entries, cfg.max_entries);
+
+  // Eviction drops the cache's reference only; every handle stays usable.
+  for (int r = 0; r < 32; ++r) {
+    ASSERT_TRUE(held[r]);
+    EXPECT_EQ(lin::total_length(*held[r]), 512 / 32);
+  }
+
+  lin::footprint_cache_configure(lin::FootprintCacheConfig{});
+  lin::footprint_cache_clear();
 }
